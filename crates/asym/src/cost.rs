@@ -1,0 +1,119 @@
+//! Raw operation counters for the asymmetric memory models.
+
+use std::ops::{Add, AddAssign};
+
+/// Operation counts in the Asymmetric RAM / NP models.
+///
+/// The models distinguish three kinds of unit operations:
+///
+/// * `asym_reads` — reads of asymmetric-memory words (cost 1 each);
+/// * `asym_writes` — writes of asymmetric-memory words (cost `ω` each);
+/// * `sym_ops` — everything else: arithmetic and reads/writes of the small
+///   symmetric memory (cost 1 each).
+///
+/// The paper's "number of writes" always refers to `asym_writes` only, and
+/// its "operations" (or "reads") to `asym_reads + sym_ops`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Costs {
+    /// Reads from the large asymmetric memory.
+    pub asym_reads: u64,
+    /// Writes to the large asymmetric memory (each costs `ω`).
+    pub asym_writes: u64,
+    /// Unit-cost operations: compute and symmetric-memory traffic.
+    pub sym_ops: u64,
+}
+
+impl Costs {
+    /// A zeroed counter set.
+    pub const ZERO: Costs = Costs { asym_reads: 0, asym_writes: 0, sym_ops: 0 };
+
+    /// Total model cost (sequential time / contribution to parallel work)
+    /// under write-cost multiplier `omega`:
+    /// `asym_reads + sym_ops + omega * asym_writes`.
+    #[inline]
+    pub fn work(&self, omega: u64) -> u64 {
+        self.asym_reads + self.sym_ops + omega * self.asym_writes
+    }
+
+    /// Unit-cost operations only (the paper's "other operations"):
+    /// `asym_reads + sym_ops`.
+    #[inline]
+    pub fn operations(&self) -> u64 {
+        self.asym_reads + self.sym_ops
+    }
+
+    /// Saturating element-wise difference, useful for measuring a phase by
+    /// snapshotting before and after.
+    #[inline]
+    pub fn since(&self, earlier: &Costs) -> Costs {
+        Costs {
+            asym_reads: self.asym_reads.saturating_sub(earlier.asym_reads),
+            asym_writes: self.asym_writes.saturating_sub(earlier.asym_writes),
+            sym_ops: self.sym_ops.saturating_sub(earlier.sym_ops),
+        }
+    }
+}
+
+impl Add for Costs {
+    type Output = Costs;
+    #[inline]
+    fn add(self, rhs: Costs) -> Costs {
+        Costs {
+            asym_reads: self.asym_reads + rhs.asym_reads,
+            asym_writes: self.asym_writes + rhs.asym_writes,
+            sym_ops: self.sym_ops + rhs.sym_ops,
+        }
+    }
+}
+
+impl AddAssign for Costs {
+    #[inline]
+    fn add_assign(&mut self, rhs: Costs) {
+        self.asym_reads += rhs.asym_reads;
+        self.asym_writes += rhs.asym_writes;
+        self.sym_ops += rhs.sym_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_charges_omega_per_write() {
+        let c = Costs { asym_reads: 10, asym_writes: 3, sym_ops: 7 };
+        assert_eq!(c.work(1), 20);
+        assert_eq!(c.work(16), 10 + 7 + 48);
+    }
+
+    #[test]
+    fn operations_excludes_writes() {
+        let c = Costs { asym_reads: 10, asym_writes: 3, sym_ops: 7 };
+        assert_eq!(c.operations(), 17);
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = Costs { asym_reads: 1, asym_writes: 2, sym_ops: 3 };
+        let b = Costs { asym_reads: 10, asym_writes: 20, sym_ops: 30 };
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(c, Costs { asym_reads: 11, asym_writes: 22, sym_ops: 33 });
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = Costs { asym_reads: 5, asym_writes: 1, sym_ops: 0 };
+        let b = Costs { asym_reads: 8, asym_writes: 0, sym_ops: 4 };
+        let d = b.since(&a);
+        assert_eq!(d, Costs { asym_reads: 3, asym_writes: 0, sym_ops: 4 });
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let a = Costs { asym_reads: 5, asym_writes: 1, sym_ops: 9 };
+        assert_eq!(a + Costs::ZERO, a);
+        assert_eq!(Costs::ZERO.work(100), 0);
+    }
+}

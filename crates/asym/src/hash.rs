@@ -1,0 +1,123 @@
+//! A local implementation of the FxHash function.
+//!
+//! The Rust perf-book recommends `rustc-hash`'s `FxHashMap` for hot
+//! integer-keyed tables; to keep the dependency set to the session's
+//! allow-list we implement the same (public-domain) multiply-rotate hash
+//! here. It is not HashDoS-resistant — fine for internal data structures
+//! keyed by vertex ids.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: `hash = (hash.rotate_left(5) ^ word) * SEED` per word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hash function.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hash function.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h = |x: u64| {
+            let mut s = FxHasher::default();
+            s.write_u64(x);
+            s.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn map_and_set_basics() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let s: FxHashSet<u32> = (0..1000).collect();
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_stream_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn spreads_low_bits() {
+        // Sequential keys should not collide in the low bits after hashing.
+        let mut seen = FxHashSet::default();
+        for i in 0u64..4096 {
+            let mut s = FxHasher::default();
+            s.write_u64(i);
+            seen.insert(s.finish() & 0xffff);
+        }
+        assert!(seen.len() > 3500, "low bits too collision-prone: {}", seen.len());
+    }
+}

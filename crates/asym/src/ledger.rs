@@ -1,0 +1,465 @@
+//! Per-task cost accounting with fork-join composition.
+//!
+//! A [`Ledger`] is the handle an algorithm threads through its control flow
+//! to charge model costs. Sequential charges accumulate into both *work*
+//! counters and *depth*; [`Ledger::fork`] splits the task in two exactly like
+//! the `Fork` instruction of the Asymmetric NP model: the children's work is
+//! summed into the parent while the depth grows only by the larger child's
+//! depth. Above a grain threshold the two branches really run in parallel on
+//! the rayon pool — the accounted numbers do not change either way.
+
+use crate::cost::Costs;
+use crate::report::CostReport;
+
+/// Fork bodies smaller than this (estimated by the caller's `grain`
+/// parameters) run sequentially; `rayon::join` overhead is not worth paying
+/// for tiny tasks on any machine.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Per-task cost accounting for the Asymmetric RAM / NP models.
+///
+/// See the crate docs for the model. Typical use:
+///
+/// ```
+/// use wec_asym::Ledger;
+/// let mut led = Ledger::new(16);
+/// led.read(2);           // two asymmetric reads
+/// led.write(1);          // one asymmetric write (depth +16)
+/// let (a, b) = led.fork(|l| { l.op(5); 1 }, |l| { l.op(7); 2 });
+/// assert_eq!(a + b, 3);
+/// assert_eq!(led.costs().sym_ops, 12);   // work adds
+/// assert_eq!(led.depth(), 2 + 16 + 7);   // depth takes the max branch
+/// ```
+#[derive(Debug)]
+pub struct Ledger {
+    omega: u64,
+    costs: Costs,
+    depth: u64,
+    sym_cur: u64,
+    sym_peak: u64,
+    parallel: bool,
+}
+
+impl Ledger {
+    /// A fresh root task with write cost `omega`, executing forks on the
+    /// rayon pool when they are large enough.
+    pub fn new(omega: u64) -> Self {
+        Self::with_parallelism(omega, true)
+    }
+
+    /// A root task that always executes forks sequentially (accounting is
+    /// unchanged). Useful for debugging and for measuring scheduler overhead.
+    pub fn sequential(omega: u64) -> Self {
+        Self::with_parallelism(omega, false)
+    }
+
+    fn with_parallelism(omega: u64, parallel: bool) -> Self {
+        assert!(omega >= 1, "omega must be at least 1");
+        Ledger {
+            omega,
+            costs: Costs::ZERO,
+            depth: 0,
+            sym_cur: 0,
+            sym_peak: 0,
+            parallel,
+        }
+    }
+
+    /// The write-cost multiplier `ω`.
+    #[inline]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// `k = ⌊√ω⌋`, the cluster-size parameter the paper uses for both
+    /// sublinear-write oracles (at least 1).
+    #[inline]
+    pub fn sqrt_omega(&self) -> usize {
+        ((self.omega as f64).sqrt().floor() as usize).max(1)
+    }
+
+    /// Charge `n` asymmetric-memory reads.
+    #[inline]
+    pub fn read(&mut self, n: u64) {
+        self.costs.asym_reads += n;
+        self.depth += n;
+    }
+
+    /// Charge `n` asymmetric-memory writes (each costs `ω`).
+    #[inline]
+    pub fn write(&mut self, n: u64) {
+        self.costs.asym_writes += n;
+        self.depth += n * self.omega;
+    }
+
+    /// Charge `n` unit-cost operations (compute / symmetric-memory traffic).
+    #[inline]
+    pub fn op(&mut self, n: u64) {
+        self.costs.sym_ops += n;
+        self.depth += n;
+    }
+
+    /// Current counters.
+    #[inline]
+    pub fn costs(&self) -> Costs {
+        self.costs
+    }
+
+    /// Critical-path cost so far.
+    #[inline]
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Total work so far (`reads + sym_ops + ω·writes`).
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.costs.work(self.omega)
+    }
+
+    /// Reserve `words` of symmetric memory (cache) for the current task.
+    /// Tracked against a high-water mark so tests can check the paper's
+    /// `O(ω log n)` / `O(k log n)` symmetric-memory claims.
+    #[inline]
+    pub fn sym_alloc(&mut self, words: u64) {
+        self.sym_cur += words;
+        self.sym_peak = self.sym_peak.max(self.sym_cur);
+    }
+
+    /// Release `words` of symmetric memory.
+    #[inline]
+    pub fn sym_free(&mut self, words: u64) {
+        debug_assert!(self.sym_cur >= words, "sym_free exceeds live allocation");
+        self.sym_cur = self.sym_cur.saturating_sub(words);
+    }
+
+    /// Run `body` with `words` of symmetric memory reserved, releasing them
+    /// afterwards.
+    pub fn sym_scope<R>(&mut self, words: u64, body: impl FnOnce(&mut Ledger) -> R) -> R {
+        self.sym_alloc(words);
+        let r = body(self);
+        self.sym_free(words);
+        r
+    }
+
+    /// High-water mark of symmetric-memory words over this task and all
+    /// completed children.
+    #[inline]
+    pub fn sym_peak(&self) -> u64 {
+        self.sym_peak
+    }
+
+    /// Live symmetric-memory words.
+    #[inline]
+    pub fn sym_live(&self) -> u64 {
+        self.sym_cur
+    }
+
+    fn child(&self) -> Ledger {
+        Ledger {
+            omega: self.omega,
+            costs: Costs::ZERO,
+            depth: 0,
+            // The NP model gives children access to ancestors' symmetric
+            // memory, so a child's live footprint starts at the parent's.
+            sym_cur: self.sym_cur,
+            sym_peak: self.sym_cur,
+            parallel: self.parallel,
+        }
+    }
+
+    fn absorb_pair(&mut self, a: Ledger, b: Ledger) {
+        self.costs += a.costs;
+        self.costs += b.costs;
+        self.depth += a.depth.max(b.depth);
+        self.sym_peak = self.sym_peak.max(a.sym_peak).max(b.sym_peak);
+    }
+
+    /// Fork two child tasks and join them: the NP model's `Fork`.
+    ///
+    /// Work (all counters) adds; depth grows by the *max* of the two branch
+    /// depths; the symmetric-memory peak is the max across branches. `size`
+    /// is a hint for how much real work the branches do — below
+    /// [`DEFAULT_GRAIN`] the branches run sequentially on this thread.
+    pub fn fork_sized<RA, RB>(
+        &mut self,
+        size: usize,
+        fa: impl FnOnce(&mut Ledger) -> RA + Send,
+        fb: impl FnOnce(&mut Ledger) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let mut la = self.child();
+        let mut lb = self.child();
+        let (ra, rb) = if self.parallel && size >= DEFAULT_GRAIN {
+            let (ra, rb) = rayon::join(move || (fa(&mut la), la), move || (fb(&mut lb), lb));
+            let (ra, la2) = ra;
+            let (rb, lb2) = rb;
+            self.absorb_pair(la2, lb2);
+            return (ra, rb);
+        } else {
+            let ra = fa(&mut la);
+            let rb = fb(&mut lb);
+            (ra, rb)
+        };
+        self.absorb_pair(la, lb);
+        (ra, rb)
+    }
+
+    /// [`Ledger::fork_sized`] with a size hint large enough to always go
+    /// through rayon when parallelism is enabled.
+    pub fn fork<RA, RB>(
+        &mut self,
+        fa: impl FnOnce(&mut Ledger) -> RA + Send,
+        fb: impl FnOnce(&mut Ledger) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        self.fork_sized(usize::MAX, fa, fb)
+    }
+
+    /// Parallel loop over `0..n` with the given grain size: recursively
+    /// splits the index range via [`Ledger::fork_sized`], running `body`
+    /// sequentially within each grain. Each binary split charges one unit
+    /// operation (the scheduler bookkeeping of the model), so the loop
+    /// contributes `O(n/grain)` work and `O(log(n/grain))` depth on top of
+    /// the body costs.
+    pub fn par_for(&mut self, n: usize, grain: usize, body: &(impl Fn(usize, &mut Ledger) + Sync)) {
+        self.par_for_range(0, n, grain.max(1), body);
+    }
+
+    fn par_for_range(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        grain: usize,
+        body: &(impl Fn(usize, &mut Ledger) + Sync),
+    ) {
+        if hi - lo <= grain {
+            for i in lo..hi {
+                body(i, self);
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.op(1);
+        self.fork_sized(
+            hi - lo,
+            move |l| l.par_for_range(lo, mid, grain, body),
+            move |l| l.par_for_range(mid, hi, grain, body),
+        );
+    }
+
+    /// Parallel map over `0..n` collecting results in index order. Accounting
+    /// matches [`Ledger::par_for`]. The result concatenation is harness-side
+    /// plumbing and is not charged; algorithms that build model-visible
+    /// output arrays must charge their own writes.
+    pub fn par_map<T: Send>(
+        &mut self,
+        n: usize,
+        grain: usize,
+        f: &(impl Fn(usize, &mut Ledger) -> T + Sync),
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        self.par_map_range(0, n, grain.max(1), f, &mut out);
+        out
+    }
+
+    fn par_map_range<T: Send>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        grain: usize,
+        f: &(impl Fn(usize, &mut Ledger) -> T + Sync),
+        out: &mut Vec<T>,
+    ) {
+        if hi - lo <= grain {
+            for i in lo..hi {
+                out.push(f(i, self));
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.op(1);
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        self.fork_sized(
+            hi - lo,
+            |l| l.par_map_range(lo, mid, grain, f, &mut left),
+            |l| l.par_map_range(mid, hi, grain, f, &mut right),
+        );
+        out.append(&mut left);
+        out.append(&mut right);
+    }
+
+    /// Run `body` against a scratch ledger whose *entire* activity is then
+    /// re-charged to this ledger as unit-cost symmetric-memory operations,
+    /// with `sym_words` reserved for the duration.
+    ///
+    /// This is how the §5.3 oracle analyzes per-cluster **local graphs**:
+    /// the local graph fits in the `O(k log n)`-word symmetric memory, so
+    /// running an ordinary algorithm (Hopcroft–Tarjan, BFS, ...) over it
+    /// must cost unit operations, not asymmetric writes. Reads the body
+    /// performs against real asymmetric inputs must be charged *outside*
+    /// this scope.
+    pub fn sym_compute<R>(
+        &mut self,
+        sym_words: u64,
+        body: impl FnOnce(&mut Ledger) -> R,
+    ) -> R {
+        self.sym_alloc(sym_words);
+        let mut scratch = Ledger::sequential(1);
+        let r = body(&mut scratch);
+        let c = scratch.costs();
+        self.op(c.asym_reads + c.asym_writes + c.sym_ops);
+        self.sym_free(sym_words);
+        r
+    }
+
+    /// Snapshot the counters into a serializable report.
+    pub fn report(&self, label: impl Into<String>) -> CostReport {
+        CostReport::from_ledger(label.into(), self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_charges_accumulate_depth() {
+        let mut l = Ledger::new(10);
+        l.read(3);
+        l.op(4);
+        l.write(2);
+        assert_eq!(l.costs().asym_reads, 3);
+        assert_eq!(l.costs().sym_ops, 4);
+        assert_eq!(l.costs().asym_writes, 2);
+        assert_eq!(l.work(), 3 + 4 + 20);
+        assert_eq!(l.depth(), 3 + 4 + 20);
+    }
+
+    #[test]
+    fn fork_depth_takes_max_branch() {
+        let mut l = Ledger::new(4);
+        l.fork(|a| a.op(100), |b| b.write(1));
+        // branch depths: 100 vs 4 -> 100
+        assert_eq!(l.depth(), 100);
+        assert_eq!(l.work(), 100 + 4);
+    }
+
+    #[test]
+    fn fork_results_returned_in_order() {
+        let mut l = Ledger::new(2);
+        let (a, b) = l.fork(|_| "left", |_| "right");
+        assert_eq!((a, b), ("left", "right"));
+    }
+
+    #[test]
+    fn nested_forks_accumulate_structurally() {
+        // Same computation, sequential vs parallel execution: identical costs.
+        fn run(mut l: Ledger) -> (Costs, u64) {
+            l.fork(
+                |a| {
+                    a.read(5);
+                    a.fork(|x| x.write(1), |y| y.op(9));
+                },
+                |b| b.op(2),
+            );
+            (l.costs(), l.depth())
+        }
+        let (c1, d1) = run(Ledger::new(8));
+        let (c2, d2) = run(Ledger::sequential(8));
+        assert_eq!(c1, c2);
+        assert_eq!(d1, d2);
+        // depth: left = 5 + max(8, 9) = 14; right = 2 -> 14
+        assert_eq!(d1, 14);
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let mut l = Ledger::sequential(2);
+        let hits = std::sync::Mutex::new(vec![0u32; 100]);
+        l.par_for(100, 8, &|i, led| {
+            led.op(1);
+            hits.lock().unwrap()[i] += 1;
+        });
+        assert!(hits.lock().unwrap().iter().all(|&h| h == 1));
+        // 100 body ops plus one op per binary split
+        assert!(l.costs().sym_ops >= 100);
+        assert!(l.costs().sym_ops <= 100 + 100 / 8 + 8);
+    }
+
+    #[test]
+    fn par_for_depth_is_logarithmic_in_tasks() {
+        let mut l = Ledger::sequential(2);
+        l.par_for(1 << 12, 1, &|_, led| led.op(1));
+        // depth ~ log2(4096) splits + 1 body op per level path
+        assert!(l.depth() < 64, "depth {} should be ~log n", l.depth());
+        assert!(l.costs().sym_ops >= 1 << 12);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let mut l = Ledger::new(2);
+        let v = l.par_map(1000, 16, &|i, _| i * i);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_agree_on_par_map_costs() {
+        let run = |mut l: Ledger| {
+            l.par_map(5000, 7, &|i, led| {
+                led.read(1);
+                if i % 3 == 0 {
+                    led.write(1);
+                }
+                i
+            });
+            (l.costs(), l.depth(), l.sym_peak())
+        };
+        assert_eq!(run(Ledger::new(16)), run(Ledger::sequential(16)));
+    }
+
+    #[test]
+    fn sym_memory_high_water() {
+        let mut l = Ledger::new(2);
+        l.sym_alloc(10);
+        l.sym_scope(5, |l| {
+            assert_eq!(l.sym_live(), 15);
+        });
+        assert_eq!(l.sym_live(), 10);
+        assert_eq!(l.sym_peak(), 15);
+        l.sym_free(10);
+        assert_eq!(l.sym_live(), 0);
+        assert_eq!(l.sym_peak(), 15);
+    }
+
+    #[test]
+    fn children_inherit_live_symmetric_memory() {
+        let mut l = Ledger::new(2);
+        l.sym_alloc(8);
+        l.fork(|a| a.sym_alloc(4), |b| b.sym_scope(100, |_| ()));
+        // child peaks: 12 and 108; parent live stays 8
+        assert_eq!(l.sym_peak(), 108);
+        assert_eq!(l.sym_live(), 8);
+    }
+
+    #[test]
+    fn sqrt_omega_floors() {
+        assert_eq!(Ledger::new(1).sqrt_omega(), 1);
+        assert_eq!(Ledger::new(16).sqrt_omega(), 4);
+        assert_eq!(Ledger::new(17).sqrt_omega(), 4);
+        assert_eq!(Ledger::new(100).sqrt_omega(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be at least 1")]
+    fn zero_omega_rejected() {
+        let _ = Ledger::new(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Serializable cost summaries for the benchmark harness.
+
+use crate::cost::Costs;
+use crate::ledger::Ledger;
+use serde::{Deserialize, Serialize};
+
+/// A labeled snapshot of everything a [`Ledger`] measured. The bench harness
+/// serializes these (JSON) and renders the paper's tables from them.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CostReport {
+    /// Free-form label ("connectivity-oracle/build", ...).
+    pub label: String,
+    /// Write-cost multiplier the run used.
+    pub omega: u64,
+    /// Asymmetric-memory reads.
+    pub asym_reads: u64,
+    /// Asymmetric-memory writes.
+    pub asym_writes: u64,
+    /// Unit-cost (symmetric/compute) operations.
+    pub sym_ops: u64,
+    /// `asym_reads + sym_ops` — the paper's "operations".
+    pub operations: u64,
+    /// `operations + omega * asym_writes` — sequential time / parallel work.
+    pub work: u64,
+    /// Critical-path cost (Asymmetric NP depth).
+    pub depth: u64,
+    /// Symmetric-memory high-water mark in words.
+    pub sym_peak_words: u64,
+}
+
+impl CostReport {
+    /// Snapshot `led` under `label`.
+    pub fn from_ledger(label: String, led: &Ledger) -> Self {
+        let c = led.costs();
+        CostReport {
+            label,
+            omega: led.omega(),
+            asym_reads: c.asym_reads,
+            asym_writes: c.asym_writes,
+            sym_ops: c.sym_ops,
+            operations: c.operations(),
+            work: c.work(led.omega()),
+            depth: led.depth(),
+            sym_peak_words: led.sym_peak(),
+        }
+    }
+
+    /// Build a report from a phase delta (costs measured between two
+    /// snapshots) when ledger-level depth is not meaningful for the phase.
+    pub fn from_costs(label: String, omega: u64, costs: Costs) -> Self {
+        CostReport {
+            label,
+            omega,
+            asym_reads: costs.asym_reads,
+            asym_writes: costs.asym_writes,
+            sym_ops: costs.sym_ops,
+            operations: costs.operations(),
+            work: costs.work(omega),
+            depth: 0,
+            sym_peak_words: 0,
+        }
+    }
+
+    /// One-line human-readable rendering used by the harness binaries.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<40} ω={:<4} reads={:<12} writes={:<12} ops={:<12} work={:<14} depth={:<12} sym={}w",
+            self.label,
+            self.omega,
+            self.asym_reads,
+            self.asym_writes,
+            self.sym_ops,
+            self.work,
+            self.depth,
+            self.sym_peak_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_reflects_ledger() {
+        let mut led = Ledger::new(16);
+        led.read(10);
+        led.write(2);
+        led.op(3);
+        led.sym_alloc(40);
+        let r = led.report("phase");
+        assert_eq!(r.label, "phase");
+        assert_eq!(r.asym_reads, 10);
+        assert_eq!(r.asym_writes, 2);
+        assert_eq!(r.operations, 13);
+        assert_eq!(r.work, 13 + 32);
+        assert_eq!(r.depth, 10 + 32 + 3);
+        assert_eq!(r.sym_peak_words, 40);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut led = Ledger::new(4);
+        led.write(5);
+        let r = led.report("x");
+        let s = serde_json::to_string(&r).unwrap();
+        let back: CostReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_contains_key_fields() {
+        let r = CostReport::from_costs(
+            "lbl".into(),
+            8,
+            Costs { asym_reads: 1, asym_writes: 2, sym_ops: 3 },
+        );
+        let s = r.render();
+        assert!(s.contains("lbl"));
+        assert!(s.contains("writes=2"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Deletion-based brute-force oracles: the ground truth for differential
+//! tests. Deliberately naive and structurally unrelated to the fast
+//! implementations (no DFS lowpoints, no Euler tours) so that agreement is
+//! meaningful evidence. Only for small graphs — costs are O(n·m) or worse.
+
+use wec_graph::{Csr, Vertex};
+
+/// Components of `g` with vertex `skip` (and its edges) removed; counts
+/// only the remaining vertices.
+fn components_without_vertex(g: &Csr, skip: Option<Vertex>) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n as u32 {
+        if Some(s) == skip || comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = count;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if Some(w) != skip && comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether `u` and `v` are connected, optionally with a vertex or an edge
+/// removed.
+fn connected_avoiding(g: &Csr, u: Vertex, v: Vertex, skip_v: Option<Vertex>, skip_e: Option<(Vertex, Vertex)>) -> bool {
+    if Some(u) == skip_v || Some(v) == skip_v {
+        return false;
+    }
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut stack = vec![u];
+    seen[u as usize] = true;
+    let banned = |a: Vertex, b: Vertex| {
+        skip_e.is_some_and(|(x, y)| (a, b) == (x, y) || (a, b) == (y, x))
+    };
+    while let Some(x) = stack.pop() {
+        if x == v {
+            return true;
+        }
+        for &w in g.neighbors(x) {
+            if Some(w) != skip_v && !seen[w as usize] && !banned(x, w) {
+                seen[w as usize] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Whether `u` and `v` are connected.
+pub fn connected(g: &Csr, u: Vertex, v: Vertex) -> bool {
+    connected_avoiding(g, u, v, None, None)
+}
+
+/// Whether `u` and `v` lie in a common biconnected component: connected,
+/// and no third vertex separates them. (For adjacent vertices this is
+/// always true when connected; for `u == v`, true.)
+pub fn same_bcc(g: &Csr, u: Vertex, v: Vertex) -> bool {
+    if u == v {
+        return true;
+    }
+    if !connected(g, u, v) {
+        return false;
+    }
+    (0..g.n() as u32)
+        .filter(|&w| w != u && w != v)
+        .all(|w| connected_avoiding(g, u, v, Some(w), None))
+}
+
+/// Whether `u` and `v` are 1-edge-connected (= connected) **and** remain
+/// connected after removing any single edge — i.e. 2-edge-connected.
+/// (The paper's "1-edge connectivity query: whether an edge is able to
+/// disconnect two vertices" — `true` here means no single edge can.)
+pub fn two_edge_connected(g: &Csr, u: Vertex, v: Vertex) -> bool {
+    if u == v {
+        return true;
+    }
+    if !connected(g, u, v) {
+        return false;
+    }
+    g.edges().iter().all(|&(a, b)| connected_avoiding(g, u, v, None, Some((a, b))))
+}
+
+/// All articulation points, by deleting each vertex and counting
+/// components.
+pub fn articulation_points(g: &Csr) -> Vec<bool> {
+    let base = components_without_vertex(g, None).1;
+    (0..g.n() as u32)
+        .map(|v| {
+            let without = components_without_vertex(g, Some(v)).1;
+            // Removing v also removes v's own (possibly isolated) slot:
+            // v is an articulation point iff the remaining vertices split
+            // into strictly more parts than they occupied before.
+            let before = base - usize::from(g.degree(v) == 0);
+            without > before
+        })
+        .collect()
+}
+
+/// All bridges, by deleting each edge and checking its endpoints.
+pub fn bridges(g: &Csr) -> Vec<bool> {
+    g.edges()
+        .iter()
+        .map(|&(u, v)| !connected_avoiding(g, u, v, None, Some((u, v))))
+        .collect()
+}
+
+/// Edge partition into biconnected components, via the equivalence
+/// "two adjacent edges are in the same BCC iff their far endpoints stay
+/// connected when the shared vertex is removed", closed transitively.
+/// Returns per-edge labels (dense).
+pub fn edge_bcc_labels(g: &Csr) -> Vec<u32> {
+    let m = g.m();
+    let mut uf = crate::unionfind::UnionFind::new(m);
+    for v in 0..g.n() as u32 {
+        let eids = g.neighbor_edge_ids(v);
+        let nbrs = g.neighbors(v);
+        for i in 0..eids.len() {
+            for j in (i + 1)..eids.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if connected_avoiding(g, a, b, Some(v), None) {
+                    uf.union(eids[i], eids[j]);
+                }
+            }
+        }
+    }
+    uf.labels()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_tarjan::hopcroft_tarjan;
+    use crate::unionfind::same_partition;
+    use wec_asym::Ledger;
+    use wec_graph::gen::{bounded_degree_connected, cycle, gnm, path, star};
+
+    #[test]
+    fn brute_matches_ht_on_random_graphs() {
+        for seed in 0..12u64 {
+            let g = gnm(14, 18 + (seed as usize % 7), seed);
+            let mut led = Ledger::new(8);
+            let ht = hopcroft_tarjan(&mut led, &g);
+            assert_eq!(articulation_points(&g), ht.articulation, "seed {seed}");
+            assert_eq!(bridges(&g), ht.bridge, "seed {seed}");
+            assert!(
+                same_partition(&edge_bcc_labels(&g), &ht.edge_bcc),
+                "edge BCC partition mismatch, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_matches_ht_on_bounded_degree() {
+        for seed in 0..8u64 {
+            let g = bounded_degree_connected(24, 4, 8, seed);
+            let mut led = Ledger::new(8);
+            let ht = hopcroft_tarjan(&mut led, &g);
+            assert_eq!(articulation_points(&g), ht.articulation, "seed {seed}");
+            assert_eq!(bridges(&g), ht.bridge, "seed {seed}");
+            for u in 0..24u32 {
+                for v in (u + 1)..24u32 {
+                    assert_eq!(
+                        same_bcc(&g, u, v),
+                        ht.same_bcc_vertices(&g, u, v),
+                        "same_bcc({u},{v}) seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_brute_facts() {
+        let g = path(4);
+        assert!(connected(&g, 0, 3));
+        assert!(!same_bcc(&g, 0, 2));
+        assert!(same_bcc(&g, 0, 1));
+        assert!(!two_edge_connected(&g, 0, 1));
+        assert_eq!(articulation_points(&g), vec![false, true, true, false]);
+        assert!(bridges(&g).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cycle_brute_facts() {
+        let g = cycle(5);
+        assert!(same_bcc(&g, 0, 3));
+        assert!(two_edge_connected(&g, 0, 3));
+        assert!(articulation_points(&g).iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn star_brute_facts() {
+        let g = star(5);
+        assert!(articulation_points(&g)[0]);
+        assert!(!same_bcc(&g, 1, 2));
+        assert!(same_bcc(&g, 0, 1));
+        assert!(!two_edge_connected(&g, 0, 1));
+    }
+
+    #[test]
+    fn isolated_vertices_are_not_articulation() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let ap = articulation_points(&g);
+        assert!(ap.iter().all(|&a| !a));
+        assert!(!connected(&g, 0, 3));
+        assert!(!same_bcc(&g, 0, 3));
+    }
+}

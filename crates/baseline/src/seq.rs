@@ -1,0 +1,131 @@
+//! Sequential prior-work connectivity: BFS labeling and spanning forest.
+//!
+//! This is Table 1's "prior work, sequential" row for connectivity:
+//! `O(m)` reads, `O(n)` writes, hence `O(m + ωn)` time on the Asymmetric
+//! RAM — already write-efficient, which is why the paper's contribution for
+//! connectivity is the *parallel* case and the *sub-`O(n)`-write oracle*.
+
+use std::collections::VecDeque;
+use wec_asym::Ledger;
+use wec_graph::{Csr, Vertex};
+
+/// Component labels (dense, by discovery) and component count, via a
+/// sequential BFS sweep. Charges `O(m)` reads and `n` writes for the label
+/// array (+ queue traffic in symmetric memory, `O(1)` words beyond the
+/// frontier since we reuse the label array for visited marks).
+pub fn seq_connectivity(led: &mut Ledger, g: &Csr) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n as u32 {
+        led.read(1);
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = count;
+        led.write(1);
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            led.read(g.degree(v) as u64 + 1);
+            for &w in g.neighbors(v) {
+                led.read(1);
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = count;
+                    led.write(1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Spanning forest as a parent array (`parent[root] = root`), sequential
+/// BFS. Same cost profile as [`seq_connectivity`].
+pub fn seq_spanning_forest(led: &mut Ledger, g: &Csr) -> Vec<Vertex> {
+    let n = g.n();
+    let mut parent = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n as u32 {
+        led.read(1);
+        if parent[s as usize] != u32::MAX {
+            continue;
+        }
+        parent[s as usize] = s;
+        led.write(1);
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            led.read(g.degree(v) as u64 + 1);
+            for &w in g.neighbors(v) {
+                led.read(1);
+                if parent[w as usize] == u32::MAX {
+                    parent[w as usize] = v;
+                    led.write(1);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unionfind::{same_partition, uf_labels};
+    use wec_graph::gen::{disjoint_union, gnm, grid, path};
+
+    #[test]
+    fn labels_match_union_find() {
+        let g = disjoint_union(&[&grid(5, 5), &path(7), &path(1)]);
+        let mut led = Ledger::new(8);
+        let (labels, count) = seq_connectivity(&mut led, &g);
+        assert_eq!(count, 3);
+        assert!(same_partition(&labels, &uf_labels(&g)));
+    }
+
+    #[test]
+    fn cost_is_n_writes_m_reads() {
+        let g = gnm(500, 4000, 2);
+        let mut led = Ledger::new(16);
+        let _ = seq_connectivity(&mut led, &g);
+        assert_eq!(led.costs().asym_writes, 500);
+        assert!(led.costs().asym_reads >= 2 * 4000);
+    }
+
+    #[test]
+    fn forest_spans_each_component() {
+        let g = disjoint_union(&[&grid(4, 4), &path(5)]);
+        let mut led = Ledger::new(8);
+        let parent = seq_spanning_forest(&mut led, &g);
+        let roots: Vec<_> =
+            (0..g.n() as u32).filter(|&v| parent[v as usize] == v).collect();
+        assert_eq!(roots.len(), 2);
+        // every non-root's parent edge exists and walking up terminates
+        for v in 0..g.n() as u32 {
+            let p = parent[v as usize];
+            if p != v {
+                assert!(g.neighbors(v).contains(&p));
+            }
+            let mut cur = v;
+            for _ in 0..g.n() + 1 {
+                if parent[cur as usize] == cur {
+                    break;
+                }
+                cur = parent[cur as usize];
+            }
+            assert_eq!(parent[cur as usize], cur, "walk from {v} must reach a root");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = wec_graph::Csr::from_edges(0, &[]);
+        let mut led = Ledger::new(8);
+        let (labels, count) = seq_connectivity(&mut led, &g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

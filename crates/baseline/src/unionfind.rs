@@ -1,0 +1,142 @@
+//! Union-find (disjoint set union) — ground-truth connectivity for tests
+//! and the linear-work spanning-forest step on contracted graphs.
+
+use wec_graph::Vertex;
+
+/// Union-find with union by rank and path halving. Not charged against the
+/// cost model by itself; callers that use it inside a model-accounted
+/// algorithm charge the containing loop (see `wec-connectivity`).
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Dense labels `0..#sets`, in order of first appearance.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0;
+        let mut out = vec![0u32; n];
+        for v in 0..n as u32 {
+            let r = self.find(v);
+            if label[r as usize] == u32::MAX {
+                label[r as usize] = next;
+                next += 1;
+            }
+            out[v as usize] = label[r as usize];
+        }
+        out
+    }
+}
+
+/// Ground-truth component labels of a graph via union-find.
+pub fn uf_labels(g: &wec_graph::Csr) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.n());
+    for &(u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.labels()
+}
+
+/// Assert two labelings induce the same partition (labels may differ).
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    use wec_asym::FxHashMap;
+    let mut fwd: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut bwd: FxHashMap<u32, u32> = FxHashMap::default();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(unused)]
+fn _vertex_type_check(v: Vertex) -> u32 {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_graph::gen::{cycle, disjoint_union, path};
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.components(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn labels_are_dense_partition() {
+        let g = disjoint_union(&[&path(3), &cycle(3)]);
+        let l = uf_labels(&g);
+        assert_eq!(l[0], l[2]);
+        assert_ne!(l[0], l[3]);
+        assert!(l.iter().all(|&x| x < 2));
+    }
+
+    #[test]
+    fn same_partition_detects_mismatch() {
+        assert!(same_partition(&[0, 0, 1], &[5, 5, 9]));
+        assert!(!same_partition(&[0, 0, 1], &[5, 9, 9]));
+        assert!(!same_partition(&[0, 1], &[0, 0]));
+        assert!(!same_partition(&[0], &[0, 0]));
+    }
+}

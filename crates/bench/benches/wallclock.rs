@@ -1,0 +1,139 @@
+//! Criterion wall-clock benches: real time alongside the model costs the
+//! harness binaries report. One group per paper artifact family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wec_asym::Ledger;
+use wec_baseline::{hopcroft_tarjan, seq_connectivity, shun_connectivity};
+use wec_biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
+use wec_connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
+use wec_core::{BuildOpts, ImplicitDecomposition};
+use wec_graph::{gen, Priorities, Vertex};
+
+const OMEGA: u64 = 64;
+
+fn bench_connectivity_construction(c: &mut Criterion) {
+    let n = 20_000;
+    let g = gen::gnm(n, 4 * n, 1);
+    let mut group = c.benchmark_group("table1/connectivity-construction");
+    group.sample_size(10);
+    group.bench_function("prior/seq-bfs", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            seq_connectivity(&mut led, &g)
+        })
+    });
+    group.bench_function("prior/shun-contracting", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            shun_connectivity(&mut led, &g, 1)
+        })
+    });
+    group.bench_function("ours/sec4.2", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            connectivity_csr(&mut led, &g, 1.0 / OMEGA as f64, 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let n = 6000;
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 3);
+    let pri = Priorities::random(n, 3);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let k = 8;
+    let mut group = c.benchmark_group("table1/oracle-construction");
+    group.sample_size(10);
+    group.bench_function("conn-oracle/build", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, OracleBuildOpts::default())
+        })
+    });
+    group.bench_function("bicc-oracle/build", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            build_biconnectivity_oracle(&mut led, &g, &pri, &verts, k, 1, BuildOpts::default())
+        })
+    });
+    group.bench_function("bicc-labeling/build", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            bc_labeling(&mut led, &g, 1.0 / OMEGA as f64, 1)
+        })
+    });
+    group.bench_function("prior/hopcroft-tarjan", |b| {
+        b.iter(|| {
+            let mut led = Ledger::new(OMEGA);
+            hopcroft_tarjan(&mut led, &g)
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 6000;
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 3);
+    let pri = Priorities::random(n, 3);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let mut led = Ledger::new(OMEGA);
+    let conn =
+        ConnectivityOracle::build(&mut led, &g, &pri, &verts, 8, 1, OracleBuildOpts::default());
+    let bicc = build_biconnectivity_oracle(&mut led, &g, &pri, &verts, 8, 1, BuildOpts::default());
+    let mut group = c.benchmark_group("table1/queries");
+    for &k in &[8usize] {
+        group.bench_with_input(BenchmarkId::new("conn-oracle/component", k), &k, |b, _| {
+            let mut l = Ledger::new(OMEGA);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i.wrapping_mul(2654435761)).wrapping_add(1) % n as u32;
+                conn.component(&mut l, i)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bicc-oracle/articulation", k), &k, |b, _| {
+            let mut l = Ledger::new(OMEGA);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i.wrapping_mul(2654435761)).wrapping_add(1) % n as u32;
+                bicc.is_articulation(&mut l, i)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bicc-oracle/biconnected", k), &k, |b, _| {
+            let mut l = Ledger::new(OMEGA);
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i.wrapping_mul(2654435761)).wrapping_add(1) % n as u32;
+                bicc.biconnected(&mut l, i, (i + 31) % n as u32)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let n = 20_000;
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 5);
+    let pri = Priorities::random(n, 5);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let mut group = c.benchmark_group("thm3.1/decomposition");
+    group.sample_size(10);
+    for &k in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut led = Ledger::new((k * k) as u64);
+                ImplicitDecomposition::build(&mut led, &g, &pri, &verts, k, 9, BuildOpts::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_connectivity_construction,
+    bench_oracles,
+    bench_queries,
+    bench_decomposition
+);
+criterion_main!(benches);

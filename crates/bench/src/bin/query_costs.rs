@@ -1,0 +1,53 @@
+//! **Table 1, query column** — measured query costs:
+//! O(1) for the dense representations, O(√ω) expected for the
+//! connectivity oracle, O(ω) expected for the biconnectivity oracle.
+
+use wec_asym::Ledger;
+use wec_biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
+use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+use wec_core::BuildOpts;
+use wec_graph::{gen, Priorities, Vertex};
+
+fn main() {
+    let n = 8000usize;
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 3);
+    let pri = Priorities::random(n, 3);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let queries = 4000u64;
+    println!("=== query costs, n = {n} (avg operations per query, {queries} queries) ===");
+    println!(
+        "{:>6} {:>4} {:>16} {:>16} {:>16} {:>18}",
+        "ω", "√ω", "labeling O(1)", "conn-oracle O(√ω)", "bicc artic O(ω)", "bicc pairwise O(ω)"
+    );
+    for omega in [4u64, 16, 64, 256, 1024] {
+        let k = (omega as f64).sqrt() as usize;
+        let mut led = Ledger::new(omega);
+        let bc = bc_labeling(&mut led, &g, 1.0 / omega as f64, 1);
+        let conn =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, OracleBuildOpts::default());
+        let bicc =
+            build_biconnectivity_oracle(&mut led, &g, &pri, &verts, k, 1, BuildOpts::default());
+
+        let per = |led: &mut Ledger, f: &mut dyn FnMut(&mut Ledger, u32)| {
+            let before = led.costs();
+            for i in 0..queries {
+                f(led, ((i * 2654435761) % n as u64) as u32);
+            }
+            led.costs().since(&before).operations() / queries
+        };
+        let c_label = per(&mut led, &mut |l, v| {
+            let _ = bc.is_articulation(l, v);
+        });
+        let c_conn = per(&mut led, &mut |l, v| {
+            let _ = conn.component(l, v);
+        });
+        let c_bicc = per(&mut led, &mut |l, v| {
+            let _ = bicc.is_articulation(l, v);
+        });
+        let c_pair = per(&mut led, &mut |l, v| {
+            let _ = bicc.biconnected(l, v, (v + 17) % n as u32);
+        });
+        println!("{omega:>6} {k:>4} {c_label:>16} {c_conn:>16} {c_bicc:>16} {c_pair:>18}");
+    }
+    println!("\nexpected shape: column 3 flat; column 4 ~√ω; columns 5-6 ~ω (k² local graphs)");
+}

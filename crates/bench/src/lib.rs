@@ -1,0 +1,81 @@
+//! # wec-bench — the harness that regenerates every table and figure
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the paper's
+//! evaluation (see DESIGN.md §4 for the full index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — construction cost of all six algorithms |
+//! | `query_costs` | Table 1 — query cost column |
+//! | `fig1_decomposition` | Figure 1 — worked implicit 4-decomposition |
+//! | `fig2_bc_labeling` | Figure 2 — worked BC labeling |
+//! | `fig3_local_graph` | Figure 3 — worked local graph |
+//! | `decomp_scaling` | Theorem 3.1 — O(kn) ops / O(n/k) writes / O(k) ρ |
+//! | `ldd_stats` | Theorem 4.1 — cut fraction ≤ β, radius O(log n/β) |
+//! | `conn_writes` | Theorem 4.2 — writes O(n + βm) vs β |
+//! | `depth_scaling` | Theorems 1.1/1.2 — ledger critical path vs n |
+//! | `unbounded` | Section 6 — oracles through the bounded-degree view |
+//! | `ablation` | seq vs parallel Algorithm 1, center-count overheads |
+//!
+//! Criterion wall-clock benches live in `benches/`.
+
+use wec_asym::{CostReport, Costs, Ledger};
+
+/// Run a labeled measurement: fresh ledger at `omega`, returning the
+/// report and the value.
+pub fn measure<T>(label: &str, omega: u64, f: impl FnOnce(&mut Ledger) -> T) -> (CostReport, T) {
+    let mut led = Ledger::new(omega);
+    let out = f(&mut led);
+    (led.report(label), out)
+}
+
+/// Format a costs row for the fixed-width tables the binaries print.
+pub fn row(label: &str, c: &Costs, omega: u64, depth: u64) -> String {
+    format!(
+        "{label:<34} {:>12} {:>12} {:>14} {:>14}",
+        c.asym_writes,
+        c.operations(),
+        c.work(omega),
+        depth
+    )
+}
+
+/// Header matching [`row`].
+pub fn header(title: &str) -> String {
+    format!(
+        "{title:<34} {:>12} {:>12} {:>14} {:>14}",
+        "writes", "operations", "work", "depth"
+    )
+}
+
+/// Geometric size sweep helper.
+pub fn geometric(from: usize, to: usize, factor: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = from;
+    while x <= to {
+        v.push(x);
+        x *= factor;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_costs() {
+        let (r, x) = measure("t", 8, |led| {
+            led.write(3);
+            42
+        });
+        assert_eq!(x, 42);
+        assert_eq!(r.asym_writes, 3);
+        assert_eq!(r.work, 24);
+    }
+
+    #[test]
+    fn geometric_sweep() {
+        assert_eq!(geometric(10, 80, 2), vec![10, 20, 40, 80]);
+    }
+}

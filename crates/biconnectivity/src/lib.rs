@@ -1,0 +1,26 @@
+//! # wec-biconnectivity — write-efficient biconnectivity (paper Section 5)
+//!
+//! * [`lowhigh`] (§5.1): Euler-tour preorder, Tarjan–Vishkin `low`/`high`,
+//!   critical edges, over arbitrary rooted spanning forests.
+//! * [`labeling`] (§5.2): the **BC labeling** — an O(n)-word representation
+//!   of biconnectivity built with `O(n + m/ω)` writes, answering bridge /
+//!   articulation-point / same-BCC / edge-BCC queries in O(1).
+//! * [`classic`]: the prior-work comparator — same computation but emitting
+//!   the standard per-edge output array (`Θ(m)` writes ⇒ `Θ(ωm)` work),
+//!   equivalent to Tarjan–Vishkin with standard output.
+//! * [`tecc`]: 2-edge-connectivity (bridge-block structure) from the BC
+//!   labeling.
+//! * [`oracle`] (§5.3): the sublinear-write biconnectivity oracle over an
+//!   implicit √ω-decomposition — `O(n/√ω)` writes to build, `O(ω)` expected
+//!   operations per query.
+
+pub mod classic;
+pub mod labeling;
+pub mod lowhigh;
+pub mod oracle;
+pub mod tecc;
+
+pub use labeling::{bc_labeling, bc_labeling_with_forest, BcLabeling, NO_LABEL};
+pub use lowhigh::{low_high, LowHigh};
+pub use oracle::BiconnectivityOracle;
+pub use tecc::TwoEdgeConnectivity;

@@ -1,0 +1,192 @@
+//! §5.1 machinery: Euler-tour numbering and the `low`/`high` values of
+//! Tarjan–Vishkin, for an arbitrary rooted spanning forest.
+//!
+//! With preorder `first(v) = pre(v)` and `last(v) = pre(v) + size(v) − 1`:
+//!
+//! ```text
+//! w_low(u)  = min(first(u), min { first(u') : {u,u'} nontree edge })
+//! w_high(u) = max(first(u), max { first(u') : {u,u'} nontree edge })
+//! low(v)  = min over subtree(v) of w_low     (leaffix)
+//! high(v) = max over subtree(v) of w_high    (leaffix)
+//! ```
+//!
+//! A tree edge `(v = parent, u)` is **critical** iff
+//! `first(v) ≤ low(u) ∧ high(u) ≤ last(v)` — no non-tree edge escapes `v`'s
+//! preorder interval from `u`'s subtree. The root's child edges are always
+//! critical under this predicate; §5.2's auxiliary connectivity handles
+//! them correctly by construction (aux links toward a root are never
+//! emitted).
+
+use wec_asym::Ledger;
+use wec_graph::{Csr, Vertex};
+use wec_prims::tree_ops::leaffix;
+use wec_prims::{EulerTour, RootedForest};
+
+/// Everything the BC-labeling pass needs about the spanning structure.
+pub struct LowHigh {
+    /// Rooted spanning forest.
+    pub forest: RootedForest,
+    /// Preorder numbering of the forest.
+    pub tour: EulerTour,
+    /// Subtree-min of `w_low`, by vertex.
+    pub low: Vec<u32>,
+    /// Subtree-max of `w_high`, by vertex.
+    pub high: Vec<u32>,
+    /// Critical flag per undirected edge id (always false for non-tree
+    /// edges).
+    pub critical: Vec<bool>,
+    /// Tree-edge flag per undirected edge id.
+    pub is_tree_edge: Vec<bool>,
+}
+
+impl LowHigh {
+    /// Whether `anc` is a (reflexive) tree ancestor of `v`.
+    #[inline]
+    pub fn is_ancestor(&self, anc: Vertex, v: Vertex) -> bool {
+        self.tour.is_ancestor(anc, v)
+    }
+
+    /// Neither endpoint an ancestor of the other.
+    #[inline]
+    pub fn unrelated(&self, u: Vertex, v: Vertex) -> bool {
+        !self.is_ancestor(u, v) && !self.is_ancestor(v, u)
+    }
+}
+
+/// Compute low/high and critical edges for `g` over the given rooted
+/// spanning forest (parent array, `parent[root] = root`). Charges O(m)
+/// reads and O(n + m-bits) writes.
+pub fn low_high(led: &mut Ledger, g: &Csr, parent: Vec<Vertex>) -> LowHigh {
+    let n = g.n();
+    let forest = RootedForest::from_parents(led, parent);
+    let tour = EulerTour::new(led, &forest);
+
+    // w_low / w_high per vertex: scan adjacency once.
+    let mut w_low: Vec<u32> = vec![u32::MAX; n];
+    let mut w_high: Vec<u32> = vec![0; n];
+    let mut is_tree_edge = vec![false; g.m()];
+    led.write(g.m().div_ceil(64) as u64); // tree-edge bitmap
+    for v in 0..n as u32 {
+        if !forest.in_forest(v) {
+            continue;
+        }
+        let pv = tour.pre[v as usize];
+        let mut lo = pv;
+        let mut hi = pv;
+        led.read(g.degree(v) as u64 + 1);
+        for (&u, &eid) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+            let tree = forest.parent(v) == u || forest.parent(u) == v;
+            if tree {
+                is_tree_edge[eid as usize] = true;
+                continue;
+            }
+            let pu = tour.pre[u as usize];
+            lo = lo.min(pu);
+            hi = hi.max(pu);
+        }
+        w_low[v as usize] = lo;
+        w_high[v as usize] = hi;
+        led.write(2);
+    }
+    let low = leaffix(led, &forest, &tour, &w_low, |a, b| a.min(b));
+    let high = leaffix(led, &forest, &tour, &w_high, |a, b| a.max(b));
+
+    // Critical tree edges.
+    let mut critical = vec![false; g.m()];
+    led.write(g.m().div_ceil(64) as u64);
+    for (eid, &(a, b)) in g.edges().iter().enumerate() {
+        led.read(1);
+        if !is_tree_edge[eid] {
+            continue;
+        }
+        let (p, c) = if forest.parent(b) == a { (a, b) } else { (b, a) };
+        led.read(4);
+        if tour.first(p) <= low[c as usize] && high[c as usize] <= tour.last(p) {
+            critical[eid] = true;
+            led.write(1);
+        }
+    }
+    LowHigh { forest, tour, low, high, critical, is_tree_edge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_asym::Ledger;
+    use wec_baseline::seq_spanning_forest;
+    use wec_graph::gen::{cycle, path};
+    use wec_graph::Csr;
+
+    fn build(g: &Csr) -> (LowHigh, Ledger) {
+        let mut led = Ledger::new(8);
+        let parent = seq_spanning_forest(&mut led, g);
+        let lh = low_high(&mut led, g, parent);
+        (lh, led)
+    }
+
+    #[test]
+    fn path_every_tree_edge_critical() {
+        let g = path(6);
+        let (lh, _) = build(&g);
+        assert!(lh.is_tree_edge.iter().all(|&t| t));
+        assert!(lh.critical.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn cycle_only_root_edges_critical() {
+        // BFS spanning tree of a cycle: one nontree edge closing it; no
+        // tree edge except the root's children edges should be critical.
+        let g = cycle(7);
+        let (lh, _) = build(&g);
+        let root = lh.forest.roots()[0];
+        for (eid, &(a, b)) in g.edges().iter().enumerate() {
+            if !lh.is_tree_edge[eid] {
+                assert!(!lh.critical[eid]);
+                continue;
+            }
+            let parent_is_root = (lh.forest.parent(b) == a && a == root)
+                || (lh.forest.parent(a) == b && b == root);
+            assert_eq!(
+                lh.critical[eid],
+                parent_is_root,
+                "edge ({a},{b}): criticality should hold exactly for root child edges"
+            );
+        }
+    }
+
+    #[test]
+    fn low_high_ranges_on_triangle_pair() {
+        // two triangles sharing vertex 0 (rooted at 0)
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+        let (lh, _) = build(&g);
+        // each triangle's non-root vertices have low = first(0) = 0
+        for v in 1..5u32 {
+            assert_eq!(lh.low[v as usize].min(1), lh.low[v as usize].min(1));
+            assert!(lh.low[v as usize] <= lh.tour.first(v));
+        }
+        // subtree escape: the deeper vertex of each triangle links back to 0
+        let root = lh.forest.roots()[0];
+        assert_eq!(root, 0);
+    }
+
+    #[test]
+    fn unrelated_and_ancestor_tests() {
+        let g = path(5);
+        let (lh, _) = build(&g);
+        assert!(lh.is_ancestor(0, 4));
+        assert!(!lh.is_ancestor(4, 0) || lh.forest.roots()[0] == 4);
+        assert!(!lh.unrelated(0, 4));
+    }
+
+    #[test]
+    fn writes_linear_in_n_plus_edge_bits() {
+        let g = wec_graph::gen::gnm(500, 6000, 3);
+        let mut led = Ledger::new(16);
+        let parent = seq_spanning_forest(&mut led, &g);
+        let w0 = led.costs().asym_writes;
+        let _lh = low_high(&mut led, &g, parent);
+        let dw = led.costs().asym_writes - w0;
+        let bound = 12 * 500 + 2 * (6000 / 64) + 600; // O(n) + bitmap words + criticals
+        assert!(dw <= bound, "low/high writes {dw} > {bound}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Construction of the §5.3 biconnectivity oracle (Algorithm 2).
+
+use super::local::{analyze_local, build_local_graph, ClusterCtx, LocalBcc, LocalGraph};
+use super::BiconnectivityOracle;
+use crate::labeling::NO_LABEL;
+use wec_asym::{FxHashMap, FxHashSet, Ledger};
+use wec_baseline::UnionFind;
+use wec_core::{BuildOpts, ClustersGraph, ImplicitDecomposition};
+use wec_graph::{GraphView, Priorities, Vertex};
+use wec_prims::tree_ops::leaffix;
+use wec_prims::{EulerTour, LcaIndex, RootedForest};
+
+/// Witness-BCC kind sentinel: extends upward into the parent.
+const KIND_UP: u32 = u32::MAX;
+
+/// Whether the intra-cluster tree path between members `a` and `b` is
+/// bridge-free under the local multigraph's bridge flags.
+pub(super) fn intra_path_bridge_free(
+    led: &mut Ledger,
+    lg: &LocalGraph,
+    bcc: &LocalBcc,
+    a: Vertex,
+    b: Vertex,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut seen: FxHashSet<Vertex> = FxHashSet::default();
+    let mut cur = a;
+    seen.insert(a);
+    led.op(1);
+    loop {
+        let p = lg.parent_of(cur);
+        if p == cur {
+            break;
+        }
+        seen.insert(p);
+        led.op(1);
+        cur = p;
+    }
+    let mut meet = b;
+    while !seen.contains(&meet) {
+        let p = lg.parent_of(meet);
+        if bcc.edge_is_bridge(led, &lg.csr, lg.index[&meet], lg.index[&p]) {
+            return false;
+        }
+        meet = p;
+    }
+    let mut cur = a;
+    while cur != meet {
+        let p = lg.parent_of(cur);
+        if bcc.edge_is_bridge(led, &lg.csr, lg.index[&cur], lg.index[&p]) {
+            return false;
+        }
+        cur = p;
+    }
+    true
+}
+
+/// Build the oracle with cluster parameter `k` (callers pass `√ω`).
+/// O(n·k) expected operations, O(n/k) writes.
+pub fn build_biconnectivity_oracle<'a, G: GraphView>(
+    led: &mut Ledger,
+    g: &'a G,
+    pri: &'a Priorities,
+    vertices: &[Vertex],
+    k: usize,
+    seed: u64,
+    opts: BuildOpts,
+) -> BiconnectivityOracle<'a, G> {
+    let d = ImplicitDecomposition::build(led, g, pri, vertices, k, seed, opts);
+    let mut centers = d.centers().to_vec();
+    centers.sort_unstable();
+    let nc = centers.len();
+    let idx: FxHashMap<Vertex, u32> =
+        centers.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+    led.op(nc as u64);
+
+    // ---- Step 1: clusters spanning forest with witness edges. ----
+    let cg = ClustersGraph::new(&d);
+    let mut cparent = vec![u32::MAX; nc];
+    let mut witness_inner = vec![0 as Vertex; nc];
+    let mut witness_outer = vec![0 as Vertex; nc];
+    led.write(3 * nc as u64);
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..nc as u32 {
+        led.read(1);
+        if cparent[start as usize] != u32::MAX {
+            continue;
+        }
+        cparent[start as usize] = start;
+        queue.push_back(start);
+        while let Some(xd) = queue.pop_front() {
+            for e in cg.neighbor_edges(led, centers[xd as usize]) {
+                let yd = idx[&e.center];
+                led.read(1);
+                if cparent[yd as usize] == u32::MAX {
+                    cparent[yd as usize] = xd;
+                    witness_inner[yd as usize] = e.outer;
+                    witness_outer[yd as usize] = e.inner;
+                    led.write(3);
+                    queue.push_back(yd);
+                }
+            }
+        }
+    }
+    let forest = RootedForest::from_parents(led, cparent);
+    let tour = EulerTour::new(led, &forest);
+    let lca = LcaIndex::new(led, &forest, &tour);
+
+    // ---- Step 2: clusters-graph BC labeling (aux union-find). ----
+    let mut w_low: Vec<u32> = (0..nc).map(|i| tour.pre[i]).collect();
+    let mut w_high = w_low.clone();
+    led.write(2 * nc as u64);
+    let mut nontree_pairs: Vec<(u32, u32)> = Vec::new();
+    for ci in 0..nc as u32 {
+        for e in cg.neighbor_edges(led, centers[ci as usize]) {
+            let yd = idx[&e.center];
+            led.op(2);
+            let tree = forest.parent(yd) == ci || forest.parent(ci) == yd;
+            if tree {
+                continue;
+            }
+            w_low[ci as usize] = w_low[ci as usize].min(tour.pre[yd as usize]);
+            w_high[ci as usize] = w_high[ci as usize].max(tour.pre[yd as usize]);
+            led.write(1);
+            if ci < yd && !tour.is_ancestor(ci, yd) && !tour.is_ancestor(yd, ci) {
+                nontree_pairs.push((ci, yd));
+                led.write(1);
+            }
+        }
+    }
+    let low = leaffix(led, &forest, &tour, &w_low, |a, b| a.min(b));
+    let high = leaffix(led, &forest, &tour, &w_high, |a, b| a.max(b));
+    let mut critical = vec![false; nc];
+    led.write(nc as u64 / 64 + 1);
+    for d_id in 0..nc as u32 {
+        let p = forest.parent(d_id);
+        if p == d_id {
+            continue;
+        }
+        led.read(4);
+        if tour.first(p) <= low[d_id as usize] && high[d_id as usize] <= tour.last(p) {
+            critical[d_id as usize] = true;
+        }
+    }
+    let mut uf = UnionFind::new(nc);
+    led.write(nc as u64);
+    for &(a, b) in &nontree_pairs {
+        led.read(2);
+        if uf.union(a, b) {
+            led.write(1);
+        }
+    }
+    for d_id in 0..nc as u32 {
+        let p = forest.parent(d_id);
+        if p != d_id && !forest.is_root(p) && !critical[d_id as usize] {
+            led.read(2);
+            if uf.union(d_id, p) {
+                led.write(1);
+            }
+        }
+    }
+    let dense_labels = uf.labels();
+    led.read(nc as u64);
+    let mut cg_label = vec![NO_LABEL; nc];
+    led.write(nc as u64);
+    for ci in 0..nc {
+        if !forest.is_root(ci as u32) {
+            cg_label[ci] = dense_labels[ci];
+        }
+    }
+
+    // ---- Step 3: per-cluster local pass. ----
+    let mut pass_up_v = vec![true; nc];
+    let mut bridge_wit = vec![false; nc];
+    let mut seg_bridge = vec![false; nc]; // bridge on intra-parent segment
+    let mut witness_kind = vec![KIND_UP; nc];
+    let mut count_internal = vec![0u64; nc];
+    led.write(5 * nc as u64);
+    {
+        let ctx = ClusterCtx {
+            centers: &centers,
+            idx: &idx,
+            forest: &forest,
+            tour: &tour,
+            lca: &lca,
+            witness_inner: &witness_inner,
+            witness_outer: &witness_outer,
+            cg_label: &cg_label,
+        };
+        for ci in 0..nc as u32 {
+            let lg = build_local_graph(led, &d, &ctx, ci);
+            let bcc = analyze_local(led, &lg);
+            count_internal[ci as usize] =
+                bcc.bcc_touches_parent.iter().filter(|&&up| !up).count() as u64;
+            led.write(1);
+            let ci_root = witness_inner[ci as usize];
+            for &cj in forest.children(ci) {
+                let xo = lg.child_outside(cj).expect("child outside vertex");
+                let wo = witness_outer[cj as usize];
+                if let Some(po) = lg.parent_outside {
+                    pass_up_v[cj as usize] = bcc.same_bcc(led, xo, po);
+                }
+                bridge_wit[cj as usize] = bcc.edge_is_bridge(led, &lg.csr, lg.index[&wo], xo);
+                if !forest.is_root(ci) {
+                    seg_bridge[cj as usize] =
+                        !intra_path_bridge_free(led, &lg, &bcc, wo, ci_root);
+                }
+                // Witness-edge BCC kind for label resolution.
+                let pos = lg
+                    .csr
+                    .arc_position(lg.index[&wo], xo)
+                    .expect("witness edge present in local graph");
+                let b = bcc.edge_bcc[lg.csr.neighbor_edge_ids(lg.index[&wo])[pos] as usize];
+                witness_kind[cj as usize] = if bcc.bcc_touches_parent[b as usize] {
+                    KIND_UP
+                } else {
+                    bcc.internal_rank[b as usize]
+                };
+                led.write(4);
+            }
+        }
+    }
+
+    // ---- Step 4: offsets, labels, blocked depths (top-down). ----
+    let mut offset = vec![0u64; nc];
+    let mut acc = 0u64;
+    led.write(nc as u64 + 1);
+    for ci in 0..nc {
+        offset[ci] = acc;
+        acc += count_internal[ci];
+    }
+    let num_main_bcc = acc;
+    let mut root_label = vec![u64::MAX; nc];
+    let mut blocked_v_depth = vec![u32::MAX; nc];
+    let mut blocked_e_depth = vec![u32::MAX; nc];
+    led.write(3 * nc as u64);
+    for &d_id in &tour.order {
+        let p = forest.parent(d_id);
+        if p == d_id {
+            continue; // root cluster
+        }
+        led.read(4);
+        root_label[d_id as usize] = if witness_kind[d_id as usize] == KIND_UP {
+            root_label[p as usize]
+        } else {
+            offset[p as usize] + witness_kind[d_id as usize] as u64
+        };
+        // "Blocked" bits describe the transit through parent(d): they only
+        // apply when the parent is itself a non-root cluster (paths never
+        // transit upward through a forest root).
+        let parent_transits = !forest.is_root(p);
+        let marked_v = parent_transits && !pass_up_v[d_id as usize];
+        let marked_e =
+            parent_transits && (bridge_wit[d_id as usize] || seg_bridge[d_id as usize]);
+        blocked_v_depth[d_id as usize] =
+            if marked_v { tour.depth[d_id as usize] } else { blocked_v_depth[p as usize] };
+        blocked_e_depth[d_id as usize] =
+            if marked_e { tour.depth[d_id as usize] } else { blocked_e_depth[p as usize] };
+        led.write(3);
+    }
+
+    BiconnectivityOracle {
+        d,
+        centers,
+        idx,
+        forest,
+        tour,
+        lca,
+        witness_inner,
+        witness_outer,
+        cg_label,
+        pass_up_v,
+        blocked_v_depth,
+        bridge_wit,
+        blocked_e_depth,
+        root_label,
+        offset,
+        num_main_bcc,
+    }
+}

@@ -1,0 +1,553 @@
+//! §5.3: the biconnectivity oracle in sublinear writes.
+//!
+//! Construction (Algorithm 2) on top of an implicit √ω-decomposition:
+//!
+//! 1. connectivity over the implicit clusters graph → a rooted **clusters
+//!    spanning forest** whose tree edges carry witness G-edges; each
+//!    non-root cluster's *cluster root* is the witness endpoint inside it;
+//! 2. low/high + critical edges + **BC labeling of the clusters graph**
+//!    (auxiliary union-find over cluster nodes, all adjacency produced
+//!    implicitly at O(k²) per cluster);
+//! 3. one pass over the clusters building each **local graph**
+//!    (Definition 4) in symmetric memory, recording per cluster-tree edge:
+//!    the 1-bit *root biconnectivity* (`pass_up`, Definition 5), whether
+//!    the witness edge is a bridge, whether any bridge lies on the
+//!    intra-parent tree segment from the witness to the parent's root, the
+//!    kind of the witness edge's local BCC (extends upward vs. grounded
+//!    here), and the count of BCCs whose top cluster this is;
+//! 4. prefix sums over those counts (globally unique BCC ids) and top-down
+//!    rootfixes: each cluster root's BCC label and the depth of the
+//!    nearest *blocked* cluster (vertex-cut and edge-cut variants) on the
+//!    way to the root.
+//!
+//! Queries re-derive `ρ`, rebuild at most three local graphs, and combine
+//! them with the precomputed per-cluster bits: `O(k²) = O(ω)` expected
+//! operations, no writes (Theorem 5.3). Vertex biconnectivity decomposes
+//! over the cluster path (local same-BCC checks + transit bits);
+//! 2-edge-connectivity uses the exact characterization "no bridge on the
+//! spanning-tree path", with bridges determined by the local multigraphs
+//! (Lemma 5.5).
+
+pub mod build;
+pub mod local;
+
+use wec_asym::{FxHashMap, FxHashSet, Ledger};
+use wec_core::{Center, ImplicitDecomposition};
+use wec_graph::{GraphView, Vertex};
+use wec_prims::{EulerTour, LcaIndex, RootedForest};
+
+use local::{analyze_local, build_local_graph, ClusterCtx, LocalBcc, LocalGraph};
+
+/// A globally unique biconnected-component identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BccId {
+    /// BCC of a centered component: `offset[top cluster] + internal rank`.
+    Main(u64),
+    /// BCC inside a small center-less component: (component minimum
+    /// vertex, Hopcroft–Tarjan index within the component).
+    Small(Vertex, u32),
+}
+
+/// The sublinear-write biconnectivity oracle.
+pub struct BiconnectivityOracle<'a, G: GraphView> {
+    pub(crate) d: ImplicitDecomposition<'a, G>,
+    /// Dense id → center.
+    pub(crate) centers: Vec<Vertex>,
+    /// Center → dense id.
+    pub(crate) idx: FxHashMap<Vertex, u32>,
+    /// Clusters forest over dense ids.
+    pub(crate) forest: RootedForest,
+    /// Preorder of the clusters forest.
+    pub(crate) tour: EulerTour,
+    /// LCA/routing index over the clusters forest.
+    pub(crate) lca: LcaIndex,
+    /// Witness endpoint inside each non-root cluster (its cluster root).
+    pub(crate) witness_inner: Vec<Vertex>,
+    /// Witness endpoint inside the parent (`w_P`), per non-root cluster.
+    pub(crate) witness_outer: Vec<Vertex>,
+    /// Clusters-graph BC label per dense id (NO_LABEL for roots).
+    pub(crate) cg_label: Vec<u32>,
+    /// Vertex-cut transit bit per cluster (Definition 5).
+    pub(crate) pass_up_v: Vec<bool>,
+    /// Depth of the deepest vertex-blocked cluster among ancestors-or-self
+    /// (`u32::MAX` if none).
+    pub(crate) blocked_v_depth: Vec<u32>,
+    /// Whether each non-root cluster's witness tree edge is a bridge.
+    pub(crate) bridge_wit: Vec<bool>,
+    /// Edge-cut analogue of `blocked_v_depth`: deepest ancestor-or-self
+    /// whose upward step (witness edge or intra-parent segment to the
+    /// parent's root) crosses a bridge.
+    pub(crate) blocked_e_depth: Vec<u32>,
+    /// Global BCC label of each non-root cluster's witness tree edge.
+    pub(crate) root_label: Vec<u64>,
+    /// Base of the globally-unique id range per cluster.
+    pub(crate) offset: Vec<u64>,
+    /// Total BCCs across centered components.
+    pub(crate) num_main_bcc: u64,
+}
+
+impl<'a, G: GraphView> BiconnectivityOracle<'a, G> {
+    /// The underlying decomposition.
+    pub fn decomposition(&self) -> &ImplicitDecomposition<'a, G> {
+        &self.d
+    }
+
+    /// Number of biconnected components in centered components.
+    pub fn num_main_bcc(&self) -> u64 {
+        self.num_main_bcc
+    }
+
+    /// Asymmetric-memory footprint in words (O(n/k)).
+    pub fn storage_words(&self) -> usize {
+        self.d.storage_words() + 14 * self.centers.len()
+    }
+
+    pub(crate) fn ctx(&self) -> ClusterCtx<'_> {
+        ClusterCtx {
+            centers: &self.centers,
+            idx: &self.idx,
+            forest: &self.forest,
+            tour: &self.tour,
+            lca: &self.lca,
+            witness_inner: &self.witness_inner,
+            witness_outer: &self.witness_outer,
+            cg_label: &self.cg_label,
+        }
+    }
+
+    /// Build and analyze the local graph of a cluster (query-path tool,
+    /// exposed for the figure harnesses and tests).
+    pub fn local_of(&self, led: &mut Ledger, ci: u32) -> (LocalGraph, LocalBcc) {
+        let lg = build_local_graph(led, &self.d, &self.ctx(), ci);
+        let bcc = analyze_local(led, &lg);
+        (lg, bcc)
+    }
+
+    /// Resolve a vertex to its cluster (dense id) or small component.
+    fn cluster_of(&self, led: &mut Ledger, v: Vertex) -> Resolved {
+        match self.d.rho(led, v).center {
+            Center::Stored(c) => Resolved::Cluster(self.idx[&c]),
+            Center::ImplicitMin(c) => Resolved::Small(c),
+        }
+    }
+
+    /// Materialize a small center-less component (≤ k vertices) as a CSR +
+    /// index, in symmetric memory.
+    fn small_component(
+        &self,
+        led: &mut Ledger,
+        min_vertex: Vertex,
+    ) -> (wec_graph::Csr, FxHashMap<Vertex, u32>) {
+        let cluster = self.d.cluster(led, min_vertex);
+        let members = cluster.members;
+        let mut index = FxHashMap::default();
+        for (i, &v) in members.iter().enumerate() {
+            index.insert(v, i as u32);
+        }
+        let mut edges = Vec::new();
+        let mut nbrs = Vec::new();
+        for &v in &members {
+            nbrs.clear();
+            self.d.graph().neighbors_into(led, v, &mut nbrs);
+            for &w in &nbrs {
+                led.op(1);
+                if v < w {
+                    edges.push((index[&v], index[&w]));
+                }
+            }
+        }
+        led.op(2 * edges.len() as u64 + members.len() as u64);
+        (wec_graph::Csr::from_edges(members.len(), &edges), index)
+    }
+
+    /// Whether `u` and `v` are connected (same component).
+    pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return true;
+        }
+        match (self.cluster_of(led, u), self.cluster_of(led, v)) {
+            (Resolved::Small(a), Resolved::Small(b)) => a == b,
+            (Resolved::Cluster(a), Resolved::Cluster(b)) => {
+                a == b || self.lca.lca(led, a, b).is_some()
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `u` and `v` lie in a common biconnected component.
+    /// O(ω) expected operations, no writes.
+    pub fn biconnected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return true;
+        }
+        match (self.cluster_of(led, u), self.cluster_of(led, v)) {
+            (Resolved::Small(a), Resolved::Small(b)) => {
+                if a != b {
+                    return false;
+                }
+                let (csr, index) = self.small_component(led, a);
+                let bcc = analyze_small(led, &csr);
+                bcc.same_bcc(led, index[&u], index[&v])
+            }
+            (Resolved::Cluster(cu), Resolved::Cluster(cv)) => {
+                if cu == cv {
+                    let (lg, bcc) = self.local_of(led, cu);
+                    return bcc.same_bcc(led, lg.index[&u], lg.index[&v]);
+                }
+                let Some(lcad) = self.lca.lca(led, cu, cv) else {
+                    return false;
+                };
+                let lca_depth = self.tour.depth[lcad as usize];
+                // Transit checks strictly between endpoint clusters and LCA.
+                for side in [cu, cv] {
+                    if side == lcad {
+                        continue;
+                    }
+                    led.read(2);
+                    let bd = self.blocked_v_depth[side as usize];
+                    if bd != u32::MAX && bd >= lca_depth + 2 {
+                        return false;
+                    }
+                }
+                // Endpoint-cluster exit checks (toward the parent).
+                for (side, x) in [(cu, u), (cv, v)] {
+                    if side == lcad {
+                        continue;
+                    }
+                    let (lg, bcc) = self.local_of(led, side);
+                    let po = lg.parent_outside.expect("non-LCA cluster has a parent");
+                    if !bcc.same_bcc(led, lg.index[&x], po) {
+                        return false;
+                    }
+                }
+                // Turning check inside the LCA cluster.
+                let (lg, bcc) = self.local_of(led, lcad);
+                let entry = |led: &mut Ledger, side: u32, x: Vertex| -> u32 {
+                    if side == lcad {
+                        lg.index[&x]
+                    } else {
+                        let ch = self
+                            .lca
+                            .child_toward(led, lcad, side)
+                            .expect("endpoint cluster descends from the LCA cluster");
+                        lg.child_outside(ch).expect("child outside vertex present")
+                    }
+                };
+                let a = entry(led, cu, u);
+                let b = entry(led, cv, v);
+                bcc.same_bcc(led, a, b)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `u` and `v` are 2-edge-connected: connected with no bridge
+    /// on their spanning-tree path. O(ω) expected operations, no writes.
+    pub fn two_edge_connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return true;
+        }
+        match (self.cluster_of(led, u), self.cluster_of(led, v)) {
+            (Resolved::Small(a), Resolved::Small(b)) => {
+                if a != b {
+                    return false;
+                }
+                let (csr, index) = self.small_component(led, a);
+                let bcc = analyze_small(led, &csr);
+                bcc.same_tecc(led, index[&u], index[&v])
+            }
+            (Resolved::Cluster(cu), Resolved::Cluster(cv)) => {
+                if cu == cv {
+                    let (lg, bcc) = self.local_of(led, cu);
+                    return self.no_bridge_on_intra_path(led, &lg, &bcc, u, v);
+                }
+                let Some(lcad) = self.lca.lca(led, cu, cv) else {
+                    return false;
+                };
+                let lca_depth = self.tour.depth[lcad as usize];
+                // Transit checks: witness edges + intra-parent segments of
+                // all strict intermediates, plus the final witness into the
+                // LCA cluster.
+                for side in [cu, cv] {
+                    if side == lcad {
+                        continue;
+                    }
+                    led.read(2);
+                    let bd = self.blocked_e_depth[side as usize];
+                    if bd != u32::MAX && bd >= lca_depth + 2 {
+                        return false;
+                    }
+                    let top_child = self
+                        .lca
+                        .child_toward(led, lcad, side)
+                        .expect("endpoint cluster descends from the LCA cluster");
+                    led.read(1);
+                    if self.bridge_wit[top_child as usize] {
+                        return false;
+                    }
+                }
+                // Endpoint segments: from the vertex up to its cluster root.
+                for (side, x) in [(cu, u), (cv, v)] {
+                    if side == lcad {
+                        continue;
+                    }
+                    let (lg, bcc) = self.local_of(led, side);
+                    let root = self.witness_inner[side as usize];
+                    if !self.no_bridge_on_intra_path(led, &lg, &bcc, x, root) {
+                        return false;
+                    }
+                }
+                // LCA segment between the two entry points.
+                let (lg, bcc) = self.local_of(led, lcad);
+                let entry = |led: &mut Ledger, side: u32, x: Vertex| -> Vertex {
+                    if side == lcad {
+                        x
+                    } else {
+                        let ch = self
+                            .lca
+                            .child_toward(led, lcad, side)
+                            .expect("endpoint cluster descends from the LCA cluster");
+                        self.witness_outer[ch as usize]
+                    }
+                };
+                let a = entry(led, cu, u);
+                let b = entry(led, cv, v);
+                self.no_bridge_on_intra_path(led, &lg, &bcc, a, b)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the intra-cluster spanning-tree path between two member
+    /// vertices of `lg`'s cluster is bridge-free, using the local
+    /// multigraph's bridge flags (Lemma 5.5). O(k log k) operations.
+    fn no_bridge_on_intra_path(
+        &self,
+        led: &mut Ledger,
+        lg: &LocalGraph,
+        bcc: &LocalBcc,
+        a: Vertex,
+        b: Vertex,
+    ) -> bool {
+        if a == b {
+            return true;
+        }
+        // Collect a's ancestor chain (toward the cluster center).
+        let mut seen: FxHashSet<Vertex> = FxHashSet::default();
+        let mut cur = a;
+        seen.insert(a);
+        led.op(1);
+        loop {
+            let p = lg.parent_of(cur);
+            if p == cur {
+                break;
+            }
+            seen.insert(p);
+            led.op(1);
+            cur = p;
+        }
+        // Walk b upward to the meeting point, checking bridges on the way.
+        let mut meet = b;
+        while !seen.contains(&meet) {
+            let p = lg.parent_of(meet);
+            if bcc.edge_is_bridge(led, &lg.csr, lg.index[&meet], lg.index[&p]) {
+                return false;
+            }
+            meet = p;
+        }
+        // Walk a upward to the meeting point, checking its side.
+        let mut cur = a;
+        while cur != meet {
+            let p = lg.parent_of(cur);
+            if bcc.edge_is_bridge(led, &lg.csr, lg.index[&cur], lg.index[&p]) {
+                return false;
+            }
+            cur = p;
+        }
+        true
+    }
+
+    /// Whether `v` is an articulation point of the graph. O(ω) expected
+    /// operations, no writes.
+    pub fn is_articulation(&self, led: &mut Ledger, v: Vertex) -> bool {
+        match self.cluster_of(led, v) {
+            Resolved::Cluster(ci) => {
+                let (lg, bcc) = self.local_of(led, ci);
+                bcc.articulation[lg.index[&v] as usize]
+            }
+            Resolved::Small(c) => {
+                let (csr, index) = self.small_component(led, c);
+                let bcc = analyze_small(led, &csr);
+                bcc.articulation[index[&v] as usize]
+            }
+        }
+    }
+
+    /// Whether existing edge `{u, v}` is a bridge. O(ω) expected
+    /// operations, no writes.
+    pub fn is_bridge(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        match (self.cluster_of(led, u), self.cluster_of(led, v)) {
+            (Resolved::Small(a), Resolved::Small(_b)) => {
+                let (csr, index) = self.small_component(led, a);
+                let bcc = analyze_small(led, &csr);
+                bcc.edge_is_bridge(led, &csr, index[&u], index[&v])
+            }
+            (Resolved::Cluster(a), Resolved::Cluster(b)) => {
+                if a == b {
+                    let (lg, bcc) = self.local_of(led, a);
+                    return bcc.edge_is_bridge(led, &lg.csr, lg.index[&u], lg.index[&v]);
+                }
+                // Cross-cluster: only the witness tree edge can be a bridge.
+                led.read(4);
+                let child = if self.forest.parent(a) == b {
+                    a
+                } else if self.forest.parent(b) == a {
+                    b
+                } else {
+                    return false; // non-tree cluster edge: always on a cycle
+                };
+                let wi = self.witness_inner[child as usize];
+                let wo = self.witness_outer[child as usize];
+                if !((wi == u && wo == v) || (wi == v && wo == u)) {
+                    return false; // a parallel bundle edge: not a bridge
+                }
+                self.bridge_wit[child as usize]
+            }
+            _ => unreachable!("an edge cannot join different components"),
+        }
+    }
+
+    /// Globally unique biconnected-component id of existing edge `{u, v}`.
+    /// O(ω) expected operations, no writes.
+    pub fn edge_bcc(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> BccId {
+        match (self.cluster_of(led, u), self.cluster_of(led, v)) {
+            (Resolved::Small(a), Resolved::Small(_)) => {
+                let (csr, index) = self.small_component(led, a);
+                let bcc = analyze_small(led, &csr);
+                let iu = index[&u];
+                let iv = index[&v];
+                let pos = csr.arc_position(iu, iv).expect("edge must exist");
+                BccId::Small(a, bcc.edge_bcc[csr.neighbor_edge_ids(iu)[pos] as usize])
+            }
+            (Resolved::Cluster(a), Resolved::Cluster(b)) => {
+                if a == b {
+                    let (lg, bcc) = self.local_of(led, a);
+                    let (iu, iv) = (lg.index[&u], lg.index[&v]);
+                    let pos = lg.csr.arc_position(iu, iv).expect("edge must exist");
+                    let lb = bcc.edge_bcc[lg.csr.neighbor_edge_ids(iu)[pos] as usize];
+                    return BccId::Main(self.resolve(led, a, lb, &bcc));
+                }
+                // Witness edges were resolved at build time; other cross
+                // edges are evaluated via their routed image.
+                led.read(4);
+                let child = if self.forest.parent(a) == b {
+                    Some(a)
+                } else if self.forest.parent(b) == a {
+                    Some(b)
+                } else {
+                    None
+                };
+                if let Some(child) = child {
+                    let wi = self.witness_inner[child as usize];
+                    let wo = self.witness_outer[child as usize];
+                    if (wi == u && wo == v) || (wi == v && wo == u) {
+                        return BccId::Main(self.root_label[child as usize]);
+                    }
+                }
+                let (host, hostx, far) = if self.tour.is_ancestor(a, b) {
+                    (a, u, b)
+                } else if self.tour.is_ancestor(b, a) {
+                    (b, v, a)
+                } else {
+                    (a, u, b)
+                };
+                let (lg, bcc) = self.local_of(led, host);
+                let vo = if self.tour.is_ancestor(host, far) && host != far {
+                    let ch = self.lca.child_toward(led, host, far).expect("descendant routing");
+                    lg.child_outside(ch).expect("child outside present")
+                } else {
+                    lg.parent_outside.expect("unrelated edge needs parent direction")
+                };
+                let ix = lg.index[&hostx];
+                let pos = lg
+                    .csr
+                    .arc_position(ix, vo)
+                    .expect("routed image of a cross edge exists in the local graph");
+                let lb = bcc.edge_bcc[lg.csr.neighbor_edge_ids(ix)[pos] as usize];
+                BccId::Main(self.resolve(led, host, lb, &bcc))
+            }
+            _ => unreachable!("an edge cannot join different components"),
+        }
+    }
+
+    /// Resolve a local BCC of cluster `ci` to its global id: if it extends
+    /// upward (touches the parent-direction outside vertex) it is the BCC
+    /// of this cluster's witness edge, whose label was resolved top-down
+    /// at build time; otherwise this cluster is its top cluster and the id
+    /// is grounded here via the compact internal rank.
+    fn resolve(&self, led: &mut Ledger, ci: u32, local_bcc: u32, bcc: &LocalBcc) -> u64 {
+        led.read(2);
+        if bcc.bcc_touches_parent[local_bcc as usize] {
+            self.root_label[ci as usize]
+        } else {
+            self.offset[ci as usize] + bcc.internal_rank[local_bcc as usize] as u64
+        }
+    }
+
+    /// Dump internal tables (debug/bench aid).
+    pub fn debug_dump(&self, led: &mut Ledger) {
+        eprintln!("centers: {:?}", self.centers);
+        for ci in 0..self.centers.len() as u32 {
+            let c = self.d.cluster(led, self.centers[ci as usize]);
+            eprintln!(
+                "cluster {ci} (center {}): members {:?} parent {} wit_in {} wit_out {} cg_label {} pass_v {} bridge_wit {} root_label {} offset {}",
+                self.centers[ci as usize],
+                c.members,
+                self.forest.parent(ci),
+                self.witness_inner[ci as usize],
+                self.witness_outer[ci as usize],
+                self.cg_label[ci as usize],
+                self.pass_up_v[ci as usize],
+                self.bridge_wit[ci as usize],
+                self.root_label[ci as usize],
+                self.offset[ci as usize],
+            );
+        }
+        for ci in 0..self.centers.len() as u32 {
+            let (lg, bcc) = self.local_of(led, ci);
+            eprintln!(
+                "local {ci}: verts {:?} n_members {} edges {:?} bridges {:?} artic {:?}",
+                lg.verts,
+                lg.n_members,
+                lg.csr.edges(),
+                bcc.bridge,
+                bcc.articulation
+            );
+        }
+    }
+}
+
+enum Resolved {
+    Cluster(u32),
+    Small(Vertex),
+}
+
+/// Hopcroft–Tarjan + 2ecc analysis of a small component, charged as
+/// symmetric operations (the component has < k vertices).
+fn analyze_small(led: &mut Ledger, csr: &wec_graph::Csr) -> LocalBcc {
+    let lg = LocalGraph {
+        verts: (0..csr.n() as u32).collect(),
+        index: (0..csr.n() as u32).map(|v| (v, v)).collect(),
+        n_members: csr.n(),
+        csr: csr.clone(),
+        dirs: Vec::new(),
+        parent_outside: None,
+        tree_parent: Vec::new(),
+    };
+    analyze_local(led, &lg)
+}
+
+pub use build::build_biconnectivity_oracle;
+
+#[cfg(test)]
+mod tests;

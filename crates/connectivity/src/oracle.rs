@@ -1,0 +1,335 @@
+//! §4.3: the connectivity oracle in sublinear writes.
+//!
+//! Build an implicit k-decomposition (`k = √ω`), run connectivity over the
+//! **implicit clusters graph** (never materialized — edges are produced by
+//! O(k²) decomposition queries, Lemma 4.3), and store one component label
+//! per *center*: `O(n/√ω)` writes, `O(√ω·n)` expected work (Theorem 4.4).
+//!
+//! A query re-derives `ρ(v)` (O(√ω) expected operations, no writes) and
+//! looks up the center's label. Vertices of small center-less components
+//! resolve to an implicit component id carried by the component's minimum
+//! vertex — nothing about them was ever written.
+
+use wec_asym::{FxHashMap, Ledger};
+use wec_baseline::UnionFind;
+use wec_core::{BuildOpts, Center, ClustersGraph, ImplicitDecomposition};
+use wec_graph::{GraphView, Priorities, Vertex};
+use wec_prims::low_diameter_decomposition;
+
+/// A component identity returned by oracle queries. Two vertices are
+/// connected iff their `ComponentId`s are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentId {
+    /// A component containing at least one stored center.
+    Labeled(u32),
+    /// A small center-less component, identified by its minimum-priority
+    /// vertex (never stored anywhere).
+    Implicit(Vertex),
+}
+
+/// Build options.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleBuildOpts {
+    /// Use the §4.2-style parallel pipeline (LDD over the implicit clusters
+    /// graph with β = 1/k) instead of the sequential union-find sweep.
+    pub parallel_clusters_pass: bool,
+    /// Options forwarded to the decomposition build.
+    pub decomp: BuildOpts,
+}
+
+impl Default for OracleBuildOpts {
+    fn default() -> Self {
+        OracleBuildOpts { parallel_clusters_pass: false, decomp: BuildOpts::default() }
+    }
+}
+
+/// The sublinear-write connectivity oracle.
+pub struct ConnectivityOracle<'a, G: GraphView> {
+    decomp: ImplicitDecomposition<'a, G>,
+    /// Component label per center — the only per-component state.
+    labels: FxHashMap<Vertex, u32>,
+    num_labeled_components: usize,
+}
+
+impl<'a, G: GraphView> ConnectivityOracle<'a, G> {
+    /// Build with cluster parameter `k` (callers pass `√ω`; see
+    /// [`wec_asym::Ledger::sqrt_omega`]).
+    pub fn build(
+        led: &mut Ledger,
+        g: &'a G,
+        pri: &'a Priorities,
+        vertices: &[Vertex],
+        k: usize,
+        seed: u64,
+        opts: OracleBuildOpts,
+    ) -> Self {
+        let decomp = ImplicitDecomposition::build(led, g, pri, vertices, k, seed, opts.decomp);
+        let cg = ClustersGraph::new(&decomp);
+        let centers = decomp.centers().to_vec();
+        let mut uf = UnionFind::new(centers.len());
+        led.write(centers.len() as u64);
+        let index: FxHashMap<Vertex, u32> =
+            centers.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        led.op(centers.len() as u64);
+
+        if opts.parallel_clusters_pass {
+            // §4.2 over the implicit clusters graph: LDD(β = 1/k) gives
+            // per-part trees; only the cross-part cluster edges reach the
+            // union-find.
+            let beta = 1.0 / k.max(2) as f64;
+            let ldd = low_diameter_decomposition(led, &cg, &centers, beta, seed ^ 0x4c);
+            let mut cross: Vec<(u32, u32)> = Vec::new();
+            for &c in &centers {
+                // tree edge to the LDD parent merges parts implicitly
+                let p = ldd.bfs.parent[c as usize];
+                if p != c && p != wec_prims::UNREACHED {
+                    cross.push((index[&c], index[&p]));
+                    led.op(1);
+                }
+            }
+            // cross-part cluster edges via implicit listing
+            for &c in &centers {
+                for e in cg.neighbor_edges(led, c) {
+                    led.op(1);
+                    if ldd.part[c as usize] != ldd.part[e.center as usize] {
+                        cross.push((index[&c], index[&e.center]));
+                    }
+                }
+            }
+            for (a, b) in cross {
+                led.read(2);
+                if uf.union(a, b) {
+                    led.write(1);
+                }
+            }
+        } else {
+            // Sequential sweep: union every implicit clusters-graph edge.
+            for &c in &centers {
+                for e in cg.neighbor_edges(led, c) {
+                    led.read(2);
+                    if uf.union(index[&c], index[&e.center]) {
+                        led.write(1);
+                    }
+                }
+            }
+        }
+
+        let dense = uf.labels();
+        led.read(centers.len() as u64);
+        let mut labels = FxHashMap::default();
+        labels.reserve(centers.len());
+        for (i, &c) in centers.iter().enumerate() {
+            labels.insert(c, dense[i]);
+            led.write(1);
+        }
+        let num = uf.components();
+        ConnectivityOracle { decomp, labels, num_labeled_components: num }
+    }
+
+    /// The underlying decomposition.
+    pub fn decomposition(&self) -> &ImplicitDecomposition<'a, G> {
+        &self.decomp
+    }
+
+    /// Number of components that contain at least one stored center.
+    pub fn num_labeled_components(&self) -> usize {
+        self.num_labeled_components
+    }
+
+    /// Oracle state footprint in asymmetric-memory words.
+    pub fn storage_words(&self) -> usize {
+        self.decomp.storage_words() + 2 * self.labels.len()
+    }
+
+    /// Component of `v`: O(k) expected operations, **no writes**.
+    pub fn component(&self, led: &mut Ledger, v: Vertex) -> ComponentId {
+        match self.decomp.rho(led, v).center {
+            Center::Stored(c) => {
+                led.read(1);
+                ComponentId::Labeled(self.labels[&c])
+            }
+            Center::ImplicitMin(c) => ComponentId::Implicit(c),
+        }
+    }
+
+    /// Whether `u` and `v` are connected: two `ρ` queries + label compare.
+    pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        self.component(led, u) == self.component(led, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_graph::gen::{bounded_degree_connected, disjoint_union, grid, path, torus};
+    use wec_graph::props;
+    use wec_graph::Csr;
+
+    fn check_against_truth(g: &Csr, oracle: &ConnectivityOracle<Csr>, led: &mut Ledger) {
+        let (comp, _) = props::components(g);
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                let expect = comp[u as usize] == comp[v as usize];
+                assert_eq!(
+                    oracle.connected(led, u, v),
+                    expect,
+                    "connected({u},{v}) should be {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_answers_all_pairs_on_multi_component_graph() {
+        let g = disjoint_union(&[&grid(5, 5), &path(7), &torus(3, 4), &Csr::from_edges(3, &[])]);
+        let n = g.n();
+        let pri = Priorities::random(n, 3);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(16);
+        let oracle = ConnectivityOracle::build(
+            &mut led,
+            &g,
+            &pri,
+            &verts,
+            4,
+            7,
+            OracleBuildOpts::default(),
+        );
+        check_against_truth(&g, &oracle, &mut led);
+    }
+
+    #[test]
+    fn parallel_clusters_pass_agrees() {
+        let g = disjoint_union(&[&bounded_degree_connected(120, 4, 30, 1), &grid(4, 4)]);
+        let n = g.n();
+        let pri = Priorities::random(n, 9);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(16);
+        let oracle = ConnectivityOracle::build(
+            &mut led,
+            &g,
+            &pri,
+            &verts,
+            4,
+            2,
+            OracleBuildOpts { parallel_clusters_pass: true, ..Default::default() },
+        );
+        check_against_truth(&g, &oracle, &mut led);
+    }
+
+    #[test]
+    fn queries_do_not_write() {
+        let g = bounded_degree_connected(200, 4, 50, 5);
+        let pri = Priorities::random(200, 5);
+        let verts: Vec<Vertex> = (0..200).collect();
+        let mut led = Ledger::new(16);
+        let oracle = ConnectivityOracle::build(
+            &mut led,
+            &g,
+            &pri,
+            &verts,
+            4,
+            3,
+            OracleBuildOpts::default(),
+        );
+        let w0 = led.costs().asym_writes;
+        for v in 0..200u32 {
+            let _ = oracle.component(&mut led, v);
+        }
+        assert_eq!(led.costs().asym_writes, w0);
+    }
+
+    #[test]
+    fn build_writes_are_sublinear_in_n() {
+        // "Sublinear" is asymptotic: check the O(n/k) shape by sweeping k —
+        // quadrupling k must cut writes by at least ~2.5× — plus an
+        // absolute O(n/k) bound with implementation constants.
+        let n = 4000;
+        let g = bounded_degree_connected(n, 4, 1000, 2);
+        let pri = Priorities::random(n, 2);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut writes = Vec::new();
+        for &k in &[4usize, 16] {
+            let mut led = Ledger::new((k * k) as u64);
+            let oracle = ConnectivityOracle::build(
+                &mut led,
+                &g,
+                &pri,
+                &verts,
+                k,
+                4,
+                OracleBuildOpts::default(),
+            );
+            writes.push(led.costs().asym_writes);
+            let bound = 60 * (n as u64) / (k as u64);
+            assert!(
+                led.costs().asym_writes <= bound,
+                "oracle build writes {} > {bound} (n={n}, k={k})",
+                led.costs().asym_writes
+            );
+            assert!(
+                oracle.storage_words() <= 24 * n / k,
+                "storage {} not O(n/k) for k={k}",
+                oracle.storage_words()
+            );
+            if k >= 16 {
+                assert!(oracle.storage_words() < n, "storage must be o(n) once k ≫ constants");
+            }
+        }
+        assert!(
+            writes[1] * 5 <= writes[0] * 2,
+            "writes should scale ~1/k: k=4 -> {}, k=16 -> {}",
+            writes[0],
+            writes[1]
+        );
+    }
+
+    #[test]
+    fn query_cost_scales_with_k_not_n() {
+        let pri_seed = 11;
+        let mut per_query = Vec::new();
+        for &n in &[1000usize, 4000] {
+            let g = bounded_degree_connected(n, 4, n / 4, 3);
+            let pri = Priorities::random(n, pri_seed);
+            let verts: Vec<Vertex> = (0..n as u32).collect();
+            let mut led = Ledger::new(64);
+            let oracle = ConnectivityOracle::build(
+                &mut led,
+                &g,
+                &pri,
+                &verts,
+                8,
+                6,
+                OracleBuildOpts::default(),
+            );
+            let before = led.costs();
+            for v in (0..n as u32).step_by(7) {
+                let _ = oracle.component(&mut led, v);
+            }
+            let queries = (n as u64).div_ceil(7);
+            per_query.push(led.costs().since(&before).operations() / queries);
+        }
+        let (small, big) = (per_query[0], per_query[1]);
+        assert!(
+            big <= 3 * small + 50,
+            "per-query cost should not scale with n: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn single_vertex_and_empty_inputs() {
+        let g = Csr::from_edges(1, &[]);
+        let pri = Priorities::identity(1);
+        let mut led = Ledger::new(4);
+        let oracle = ConnectivityOracle::build(
+            &mut led,
+            &g,
+            &pri,
+            &[0],
+            2,
+            1,
+            OracleBuildOpts::default(),
+        );
+        assert_eq!(oracle.component(&mut led, 0), oracle.component(&mut led, 0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Spanning-forest utilities: rooting an edge-list forest into a parent
+//! array (what the biconnectivity pipeline consumes).
+
+use wec_asym::Ledger;
+use wec_graph::{Csr, Vertex};
+use wec_prims::UNREACHED;
+
+/// Root a spanning forest given as an edge list. Returns a parent array
+/// (`parent[root] = root`, [`UNREACHED`] for isolated ids not named by any
+/// edge unless listed in `prefer_roots`). Roots are chosen from
+/// `prefer_roots` first, then lowest-id per remaining tree. Costs O(n)
+/// writes (the temporary forest CSR + the BFS records).
+pub fn root_forest(
+    led: &mut Ledger,
+    n: usize,
+    forest_edges: &[(Vertex, Vertex)],
+    prefer_roots: &[Vertex],
+) -> Vec<Vertex> {
+    let forest = Csr::from_edges(n, forest_edges);
+    led.write(2 * forest_edges.len() as u64 + n as u64); // materialize forest CSR
+    let mut parent = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    // Preferred roots first, then lowest-id fallback per remaining tree.
+    for s in prefer_roots.iter().copied().chain(0..n as u32) {
+        led.read(1);
+        if parent[s as usize] != UNREACHED {
+            continue;
+        }
+        parent[s as usize] = s;
+        led.write(1);
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            led.read(forest.degree(v) as u64 + 1);
+            for &w in forest.neighbors(v) {
+                led.read(1);
+                if parent[w as usize] == UNREACHED {
+                    parent[w as usize] = v;
+                    led.write(1);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::connectivity_csr;
+    use wec_graph::gen::{disjoint_union, gnm, grid, path};
+
+    #[test]
+    fn roots_respect_preference() {
+        let edges = vec![(0u32, 1u32), (1, 2), (3, 4)];
+        let mut led = Ledger::new(8);
+        let parent = root_forest(&mut led, 5, &edges, &[2, 4]);
+        assert_eq!(parent[2], 2);
+        assert_eq!(parent[4], 4);
+        assert_eq!(parent[1], 2);
+        assert_eq!(parent[0], 1);
+        assert_eq!(parent[3], 4);
+    }
+
+    #[test]
+    fn every_vertex_rooted_even_isolated() {
+        let edges = vec![(0u32, 1u32)];
+        let mut led = Ledger::new(8);
+        let parent = root_forest(&mut led, 4, &edges, &[]);
+        assert_eq!(parent[2], 2);
+        assert_eq!(parent[3], 3);
+        assert_eq!(parent[1], 0); // lowest-id root preference
+    }
+
+    #[test]
+    fn rooted_forest_of_connectivity_output_is_consistent() {
+        let g = disjoint_union(&[&grid(5, 5), &path(6), &gnm(30, 60, 2)]);
+        let mut led = Ledger::new(8);
+        let r = connectivity_csr(&mut led, &g, 0.2, 9);
+        let parent = root_forest(&mut led, g.n(), &r.forest_edges, &[]);
+        // walking up from any vertex reaches a root within its component
+        for v in 0..g.n() as u32 {
+            let mut cur = v;
+            let mut steps = 0;
+            while parent[cur as usize] != cur {
+                cur = parent[cur as usize];
+                steps += 1;
+                assert!(steps <= g.n(), "cycle while walking up from {v}");
+            }
+            assert_eq!(r.labels[cur as usize], r.labels[v as usize]);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The stored state of an implicit decomposition: the center set `S` with
+//! its 1-bit primary/secondary labels.
+//!
+//! This is *all* the oracle keeps in asymmetric memory — `O(n/k)` words.
+//! Membership ("is this vertex a center, and is it primary?") must be O(1)
+//! expected reads for Lemma 3.2's `O(k)` bound on `ρ(v)`, so the set is an
+//! open-addressing hash table (linear probing, Fx hash). Every insert
+//! charges the asymmetric write it performs; rehashing charges the table it
+//! rewrites (amortized O(1) per insert).
+
+use wec_asym::{FxHasher, Ledger};
+use wec_graph::Vertex;
+
+use std::hash::Hasher;
+
+/// Label of a center (the paper's 1-bit `ℓ(s)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CenterLabel {
+    /// Sampled (or component-minimum) center: `ρ0` targets.
+    Primary,
+    /// Added by `SECONDARYCENTERS` to cap cluster sizes.
+    Secondary,
+}
+
+/// Read-only membership interface, so construction can run per-primary
+/// overlays (base `S0` + thread-local secondaries) without sharing a
+/// mutable table across tasks.
+pub trait CenterLookup: Sync {
+    /// `Some(label)` if `v ∈ S`, charging the probe reads.
+    fn lookup(&self, led: &mut Ledger, v: Vertex) -> Option<CenterLabel>;
+}
+
+/// Open-addressing center set.
+#[derive(Debug, Clone)]
+pub struct CenterSet {
+    /// `vertex + 1`, 0 = empty.
+    slots: Vec<u32>,
+    /// Primary bit, parallel to `slots`.
+    primary: Vec<bool>,
+    mask: usize,
+    len: usize,
+}
+
+fn hash_vertex(v: Vertex) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(v);
+    h.finish()
+}
+
+impl CenterSet {
+    /// An empty set sized for about `expected` centers. Charges the table
+    /// allocation (zeroing writes).
+    pub fn with_capacity(led: &mut Ledger, expected: usize) -> Self {
+        let cap = (4 * expected.max(4)).next_power_of_two();
+        led.write(cap as u64);
+        CenterSet { slots: vec![0; cap], primary: vec![false; cap], mask: cap - 1, len: 0 }
+    }
+
+    /// Number of centers stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert (or relabel) `v`. Charges probe reads + one write, plus the
+    /// occasional rehash.
+    pub fn insert(&mut self, led: &mut Ledger, v: Vertex, label: CenterLabel) {
+        if self.len * 2 >= self.slots.len() {
+            self.grow(led);
+        }
+        let mut i = hash_vertex(v) as usize & self.mask;
+        loop {
+            led.read(1);
+            let s = self.slots[i];
+            if s == 0 {
+                self.slots[i] = v + 1;
+                self.primary[i] = label == CenterLabel::Primary;
+                self.len += 1;
+                led.write(1);
+                return;
+            }
+            if s == v + 1 {
+                self.primary[i] = label == CenterLabel::Primary;
+                led.write(1);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self, led: &mut Ledger) {
+        let old_slots = std::mem::take(&mut self.slots);
+        let old_primary = std::mem::take(&mut self.primary);
+        let cap = old_slots.len() * 2;
+        self.slots = vec![0; cap];
+        self.primary = vec![false; cap];
+        self.mask = cap - 1;
+        self.len = 0;
+        led.write(cap as u64);
+        led.read(old_slots.len() as u64);
+        for (s, p) in old_slots.into_iter().zip(old_primary) {
+            if s != 0 {
+                let label = if p { CenterLabel::Primary } else { CenterLabel::Secondary };
+                self.insert(led, s - 1, label);
+            }
+        }
+    }
+
+    /// All centers (unordered). O(capacity) reads; used once at oracle
+    /// build time to materialize the center list.
+    pub fn to_vec(&self, led: &mut Ledger) -> Vec<Vertex> {
+        led.read(self.slots.len() as u64);
+        self.slots.iter().filter(|&&s| s != 0).map(|&s| s - 1).collect()
+    }
+
+    /// Uncharged snapshot for tests/harnesses.
+    pub fn iter_uncharged(&self) -> impl Iterator<Item = (Vertex, CenterLabel)> + '_ {
+        self.slots.iter().zip(self.primary.iter()).filter(|(&s, _)| s != 0).map(|(&s, &p)| {
+            (s - 1, if p { CenterLabel::Primary } else { CenterLabel::Secondary })
+        })
+    }
+
+    /// Words of asymmetric memory the table occupies (for the O(n/k)
+    /// storage experiments).
+    pub fn storage_words(&self) -> usize {
+        // slots + 1 bit per slot for labels, counted as w words of bits
+        self.slots.len() + self.slots.len().div_ceil(64)
+    }
+}
+
+impl CenterLookup for CenterSet {
+    fn lookup(&self, led: &mut Ledger, v: Vertex) -> Option<CenterLabel> {
+        let mut i = hash_vertex(v) as usize & self.mask;
+        loop {
+            led.read(1);
+            let s = self.slots[i];
+            if s == 0 {
+                return None;
+            }
+            if s == v + 1 {
+                return Some(if self.primary[i] {
+                    CenterLabel::Primary
+                } else {
+                    CenterLabel::Secondary
+                });
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// A base set plus thread-local secondary additions (never rehashes the
+/// shared base). Used by the parallel `SECONDARYCENTERS` so each primary
+/// cluster's recursion owns its own additions.
+pub struct OverlayCenters<'a> {
+    base: &'a CenterSet,
+    local: Vec<Vertex>, // secondaries; small (per-cluster), scanned linearly
+}
+
+impl<'a> OverlayCenters<'a> {
+    /// Wrap `base` with an empty local overlay.
+    pub fn new(base: &'a CenterSet) -> Self {
+        OverlayCenters { base, local: Vec::new() }
+    }
+
+    /// Add a local secondary center. Charges one write (the model cost of
+    /// appending to the output list; the final merge re-charges inserts
+    /// into the shared table, matching the paper's "write out u to S1").
+    pub fn add_secondary(&mut self, led: &mut Ledger, v: Vertex) {
+        led.write(1);
+        self.local.push(v);
+    }
+
+    /// The local additions, for the final merge.
+    pub fn into_local(self) -> Vec<Vertex> {
+        self.local
+    }
+}
+
+impl CenterLookup for OverlayCenters<'_> {
+    fn lookup(&self, led: &mut Ledger, v: Vertex) -> Option<CenterLabel> {
+        // Local overlay first (secondaries are only queried within their own
+        // primary cluster, so the list stays O(cluster size / k)).
+        led.op(self.local.len() as u64 + 1);
+        if self.local.contains(&v) {
+            return Some(CenterLabel::Secondary);
+        }
+        self.base.lookup(led, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut led = Ledger::new(8);
+        let mut s = CenterSet::with_capacity(&mut led, 4);
+        s.insert(&mut led, 10, CenterLabel::Primary);
+        s.insert(&mut led, 20, CenterLabel::Secondary);
+        assert_eq!(s.lookup(&mut led, 10), Some(CenterLabel::Primary));
+        assert_eq!(s.lookup(&mut led, 20), Some(CenterLabel::Secondary));
+        assert_eq!(s.lookup(&mut led, 30), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn relabel_in_place() {
+        let mut led = Ledger::new(8);
+        let mut s = CenterSet::with_capacity(&mut led, 4);
+        s.insert(&mut led, 5, CenterLabel::Secondary);
+        s.insert(&mut led, 5, CenterLabel::Primary);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup(&mut led, 5), Some(CenterLabel::Primary));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut led = Ledger::new(8);
+        let mut s = CenterSet::with_capacity(&mut led, 2);
+        for v in 0..500u32 {
+            s.insert(&mut led, v, CenterLabel::Primary);
+        }
+        assert_eq!(s.len(), 500);
+        for v in 0..500u32 {
+            assert!(s.lookup(&mut led, v).is_some());
+        }
+        assert_eq!(s.lookup(&mut led, 1000), None);
+        let all = s.to_vec(&mut led);
+        assert_eq!(all.len(), 500);
+    }
+
+    #[test]
+    fn insert_write_cost_is_amortized_constant() {
+        let mut led = Ledger::new(8);
+        let mut s = CenterSet::with_capacity(&mut led, 1000);
+        let w0 = led.costs().asym_writes;
+        for v in 0..1000u32 {
+            s.insert(&mut led, v, CenterLabel::Secondary);
+        }
+        let w = led.costs().asym_writes - w0;
+        assert!(w <= 3 * 1000, "amortized insert writes {w}");
+    }
+
+    #[test]
+    fn overlay_shadows_base() {
+        let mut led = Ledger::new(8);
+        let mut base = CenterSet::with_capacity(&mut led, 4);
+        base.insert(&mut led, 1, CenterLabel::Primary);
+        let mut ov = OverlayCenters::new(&base);
+        ov.add_secondary(&mut led, 7);
+        assert_eq!(ov.lookup(&mut led, 1), Some(CenterLabel::Primary));
+        assert_eq!(ov.lookup(&mut led, 7), Some(CenterLabel::Secondary));
+        assert_eq!(ov.lookup(&mut led, 9), None);
+        assert_eq!(ov.into_local(), vec![7]);
+    }
+
+    #[test]
+    fn storage_words_tracks_capacity() {
+        let mut led = Ledger::new(8);
+        let s = CenterSet::with_capacity(&mut led, 100);
+        assert!(s.storage_words() >= 400);
+        assert!(s.storage_words() <= 1200);
+    }
+}

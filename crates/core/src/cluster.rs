@@ -1,0 +1,294 @@
+//! Cluster enumeration `C(s)` (Lemma 3.5) and the cluster tree (Lemma 3.3).
+//!
+//! BFS from the center `s`, but a discovered vertex joins (and is expanded)
+//! only if `ρ(v) = s` — correct because every member's canonical path to
+//! its center stays inside the cluster (Corollary 3.4). Each membership
+//! check costs one `ρ` evaluation, so enumeration costs O(k·|C(s)|)
+//! expected operations and **no asymmetric writes**.
+//!
+//! Members are produced in a canonical, deterministic order — level by
+//! level (levels are exact hop distances from `s`: canonical paths are
+//! shortest paths, so no member can appear "early"), ranked within a level
+//! by (cluster-tree parent's rank, own priority). Cluster-tree parents
+//! always precede their children, which is what `SECONDARYCENTERS`' "first
+//! k vertices form a tree" step needs.
+
+use crate::centers::CenterLookup;
+use crate::rho::{rho, Center};
+use wec_asym::{FxHashMap, FxHashSet, Ledger};
+use wec_graph::{GraphView, Priorities, Vertex};
+
+/// An enumerated cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The center (stored or implicit) this cluster belongs to.
+    pub center: Vertex,
+    /// Members in canonical enumeration order (`members[0] == center`).
+    pub members: Vec<Vertex>,
+    /// Cluster-tree parent of each member (center maps to itself), in the
+    /// same order as `members`.
+    pub parents: Vec<Vertex>,
+    /// True if enumeration stopped at `limit` with members remaining.
+    pub truncated: bool,
+}
+
+impl Cluster {
+    /// Size enumerated (≤ limit).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster is empty (never: contains at least the center).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Children lists of the enumerated cluster tree, keyed by member, in
+    /// member order.
+    pub fn children_map(&self) -> FxHashMap<Vertex, Vec<Vertex>> {
+        let mut map: FxHashMap<Vertex, Vec<Vertex>> = FxHashMap::default();
+        for (&v, &p) in self.members.iter().zip(&self.parents) {
+            map.entry(v).or_default();
+            if p != v {
+                map.entry(p).or_default().push(v);
+            }
+        }
+        map
+    }
+}
+
+/// Enumerate up to `limit` members of the cluster centered at `s`.
+/// `s` must actually be a center (stored, or the implicit minimum of a
+/// center-less component).
+pub fn enumerate_cluster<G: GraphView>(
+    led: &mut Ledger,
+    g: &G,
+    pri: &Priorities,
+    centers: &impl CenterLookup,
+    s: Vertex,
+    limit: usize,
+) -> Cluster {
+    debug_assert!(limit >= 1);
+    let mut members = vec![s];
+    let mut parents = vec![s];
+    // rank of each member within its level
+    let mut rank_of: FxHashMap<Vertex, u32> = FxHashMap::default();
+    rank_of.insert(s, 0);
+    let mut member_set: FxHashSet<Vertex> = FxHashSet::default();
+    member_set.insert(s);
+    let mut non_members: FxHashSet<Vertex> = FxHashSet::default();
+    let mut truncated = false;
+    let mut sym_words = 2u64;
+    led.sym_alloc(2);
+    led.op(1);
+
+    let mut level: Vec<Vertex> = vec![s];
+    'levels: while !level.is_empty() {
+        // Candidates adjacent to the current level, with best parent rank.
+        let mut cand: FxHashMap<Vertex, (u32, Vertex)> = FxHashMap::default();
+        let mut nbrs = Vec::new();
+        for &v in &level {
+            debug_assert!(rank_of.contains_key(&v));
+            nbrs.clear();
+            g.neighbors_into(led, v, &mut nbrs);
+            for &w in &nbrs {
+                led.op(1);
+                if member_set.contains(&w) || non_members.contains(&w) {
+                    continue;
+                }
+                // Membership test: one ρ evaluation (cached).
+                let a = rho(led, g, pri, centers, w);
+                let is_member = match a.center {
+                    Center::Stored(c) => c == s,
+                    Center::ImplicitMin(c) => c == s,
+                };
+                if !is_member {
+                    non_members.insert(w);
+                    led.sym_alloc(1);
+                    sym_words += 1;
+                    continue;
+                }
+                // w's cluster-tree parent is a member at the previous level
+                // (= current `level`); order candidates by its rank.
+                debug_assert!(member_set.contains(&a.parent_hop) || a.parent_hop == w);
+                let pr = rank_of.get(&a.parent_hop).copied().unwrap_or(u32::MAX);
+                cand.entry(w)
+                    .and_modify(|e| {
+                        if pr < e.0 {
+                            *e = (pr, a.parent_hop);
+                        }
+                    })
+                    .or_insert((pr, a.parent_hop));
+            }
+        }
+        if cand.is_empty() {
+            break;
+        }
+        let mut next: Vec<(u32, u32, Vertex, Vertex)> =
+            cand.into_iter().map(|(w, (pr, p))| (pr, pri.rank(w), w, p)).collect();
+        next.sort_unstable();
+        led.op(next.len() as u64 * 4);
+        let mut new_level = Vec::with_capacity(next.len());
+        for (rank, &(_, _, w, p)) in next.iter().enumerate() {
+            if members.len() >= limit {
+                truncated = true;
+                break 'levels;
+            }
+            members.push(w);
+            parents.push(p);
+            member_set.insert(w);
+            rank_of.insert(w, rank as u32);
+            led.sym_alloc(3);
+            sym_words += 3;
+            new_level.push(w);
+        }
+        // ranks of the previous level are no longer needed
+        for v in level {
+            rank_of.remove(&v);
+        }
+        level = new_level;
+    }
+    led.sym_free(sym_words);
+    Cluster { center: s, members, parents, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centers::{CenterLabel, CenterSet};
+    use wec_graph::gen::{grid, path};
+    use wec_graph::Csr;
+
+    fn centers_of(led: &mut Ledger, prim: &[Vertex], sec: &[Vertex]) -> CenterSet {
+        let mut s = CenterSet::with_capacity(led, prim.len() + sec.len() + 1);
+        for &p in prim {
+            s.insert(led, p, CenterLabel::Primary);
+        }
+        for &x in sec {
+            s.insert(led, x, CenterLabel::Secondary);
+        }
+        s
+    }
+
+    #[test]
+    fn path_clusters_partition() {
+        let g = path(10);
+        let pri = Priorities::identity(10);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[0, 9], &[]);
+        let c0 = enumerate_cluster(&mut led, &g, &pri, &cs, 0, usize::MAX);
+        let c9 = enumerate_cluster(&mut led, &g, &pri, &cs, 9, usize::MAX);
+        let mut all: Vec<_> = c0.members.iter().chain(c9.members.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(!c0.truncated && !c9.truncated);
+        assert_eq!(c0.members[0], 0);
+    }
+
+    #[test]
+    fn secondary_center_splits_cluster() {
+        let g = path(10);
+        let pri = Priorities::identity(10);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[0], &[5]);
+        let c0 = enumerate_cluster(&mut led, &g, &pri, &cs, 0, usize::MAX);
+        let c5 = enumerate_cluster(&mut led, &g, &pri, &cs, 5, usize::MAX);
+        assert_eq!(c0.members.len(), 5); // 0..=4
+        assert_eq!(c5.members.len(), 5); // 5..=9
+        assert!(c5.members.contains(&9));
+        assert!(!c0.members.contains(&5));
+    }
+
+    #[test]
+    fn parents_form_tree_rooted_at_center() {
+        let g = grid(5, 5);
+        let pri = Priorities::random(25, 4);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[12], &[]);
+        let c = enumerate_cluster(&mut led, &g, &pri, &cs, 12, usize::MAX);
+        assert_eq!(c.members.len(), 25);
+        assert_eq!(c.parents[0], 12);
+        use wec_asym::FxHashSet;
+        let mut seen: FxHashSet<Vertex> = FxHashSet::default();
+        for (i, (&v, &p)) in c.members.iter().zip(&c.parents).enumerate() {
+            if i == 0 {
+                assert_eq!(v, p);
+            } else {
+                assert!(seen.contains(&p), "parent {p} of {v} must be enumerated earlier");
+                assert!(g.neighbors(v).contains(&p), "tree edge must be a graph edge");
+            }
+            seen.insert(v);
+        }
+    }
+
+    #[test]
+    fn truncation_respects_limit_and_tree_closure() {
+        let g = grid(6, 6);
+        let pri = Priorities::random(36, 7);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[0], &[]);
+        let c = enumerate_cluster(&mut led, &g, &pri, &cs, 0, 10);
+        assert!(c.truncated);
+        assert_eq!(c.members.len(), 10);
+        use wec_asym::FxHashSet;
+        let set: FxHashSet<Vertex> = c.members.iter().copied().collect();
+        for (&v, &p) in c.members.iter().zip(&c.parents) {
+            assert!(v == p || set.contains(&p), "prefix must be parent-closed");
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_write_free() {
+        let g = grid(5, 5);
+        let pri = Priorities::random(25, 11);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[3, 17], &[8]);
+        let w0 = led.costs().asym_writes;
+        let a = enumerate_cluster(&mut led, &g, &pri, &cs, 3, usize::MAX);
+        let b = enumerate_cluster(&mut led, &g, &pri, &cs, 3, usize::MAX);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.parents, b.parents);
+        assert_eq!(led.costs().asym_writes, w0);
+        assert_eq!(led.sym_live(), 0);
+    }
+
+    #[test]
+    fn cluster_members_rho_back_to_center() {
+        let g = grid(4, 6);
+        let pri = Priorities::random(24, 2);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[1, 20], &[10]);
+        for s in [1u32, 20, 10] {
+            let c = enumerate_cluster(&mut led, &g, &pri, &cs, s, usize::MAX);
+            for &v in &c.members {
+                let a = rho(&mut led, &g, &pri, &cs, v);
+                assert_eq!(a.center.vertex(), s, "member {v} of cluster {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_cluster_enumerates_whole_component() {
+        let g = Csr::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]);
+        let pri = Priorities::identity(7);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[0], &[]); // second component centerless
+        let c = enumerate_cluster(&mut led, &g, &pri, &cs, 3, usize::MAX);
+        let mut m = c.members.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn children_map_inverts_parents() {
+        let g = path(6);
+        let pri = Priorities::identity(6);
+        let mut led = Ledger::new(8);
+        let cs = centers_of(&mut led, &[0], &[]);
+        let c = enumerate_cluster(&mut led, &g, &pri, &cs, 0, usize::MAX);
+        let kids = c.children_map();
+        assert_eq!(kids[&0], vec![1]);
+        assert_eq!(kids[&4], vec![5]);
+        assert!(kids[&5].is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! The implicit clusters graph (Definition 1 + Lemma 4.3).
+//!
+//! Vertices are the stored centers; an edge joins two centers whenever some
+//! `G`-edge crosses between their clusters. Nothing is materialized:
+//! enumerating the centers adjacent to `x` enumerates `x`'s cluster and
+//! resolves every boundary neighbor's center — O(k²) expected operations,
+//! no writes (Lemma 4.3). Implemented as a [`GraphView`] so the BFS / LDD /
+//! connectivity machinery runs on it unchanged (§4.3).
+//!
+//! Center-less small components have no stored center and therefore no
+//! clusters-graph vertex; the connectivity/biconnectivity oracles resolve
+//! their queries entirely at query time (the component fits in symmetric
+//! memory).
+
+use crate::decomp::ImplicitDecomposition;
+use crate::rho::Center;
+use wec_asym::{FxHashMap, FxHashSet, Ledger};
+use wec_graph::{GraphView, Vertex};
+
+/// Implicit clusters-graph view over a decomposition.
+pub struct ClustersGraph<'a, G: GraphView> {
+    d: &'a ImplicitDecomposition<'a, G>,
+}
+
+/// A clusters-graph edge with its witness `G`-edge: `inner` lies in the
+/// source cluster, `outer` in the neighbor cluster. The §5.3 machinery
+/// needs the witnesses; plain connectivity only needs `center`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterEdge {
+    /// The neighboring cluster's center.
+    pub center: Vertex,
+    /// Endpoint of the witness edge inside the source cluster.
+    pub inner: Vertex,
+    /// Endpoint of the witness edge inside the neighbor cluster.
+    pub outer: Vertex,
+}
+
+impl<'a, G: GraphView> ClustersGraph<'a, G> {
+    /// Wrap a decomposition.
+    pub fn new(d: &'a ImplicitDecomposition<'a, G>) -> Self {
+        ClustersGraph { d }
+    }
+
+    /// The decomposition.
+    pub fn decomposition(&self) -> &'a ImplicitDecomposition<'a, G> {
+        self.d
+    }
+
+    /// Neighboring centers of `x` with one witness edge each (first in the
+    /// canonical enumeration order), deduplicated by neighbor center.
+    /// O(k²) expected operations, no writes.
+    pub fn neighbor_edges(&self, led: &mut Ledger, x: Vertex) -> Vec<ClusterEdge> {
+        let cluster = self.d.cluster(led, x);
+        let mut seen: FxHashMap<Vertex, ClusterEdge> = FxHashMap::default();
+        let mut order: Vec<Vertex> = Vec::new();
+        let members: FxHashSet<Vertex> = cluster.members.iter().copied().collect();
+        led.sym_alloc(2 * cluster.members.len() as u64);
+        let mut nbrs = Vec::new();
+        for &v in &cluster.members {
+            nbrs.clear();
+            self.d.graph().neighbors_into(led, v, &mut nbrs);
+            for &w in &nbrs {
+                led.op(1);
+                if members.contains(&w) {
+                    continue;
+                }
+                let a = self.d.rho(led, w);
+                let c = match a.center {
+                    Center::Stored(c) => c,
+                    // Another cluster of the same component can never be
+                    // implicit (implicit centers own whole components).
+                    Center::ImplicitMin(c) => c,
+                };
+                debug_assert_ne!(c, x);
+                if !seen.contains_key(&c) {
+                    seen.insert(c, ClusterEdge { center: c, inner: v, outer: w });
+                    order.push(c);
+                    led.op(1);
+                }
+            }
+        }
+        led.sym_free(2 * cluster.members.len() as u64);
+        order.into_iter().map(|c| seen[&c]).collect()
+    }
+}
+
+impl<G: GraphView> GraphView for ClustersGraph<'_, G> {
+    fn n(&self) -> usize {
+        // Center ids live in the original id space.
+        self.d.graph().n()
+    }
+
+    fn is_vertex(&self, v: Vertex) -> bool {
+        let mut scratch = Ledger::sequential(1);
+        self.d.center_label(&mut scratch, v).is_some()
+    }
+
+    fn neighbors_into(&self, led: &mut Ledger, v: Vertex, out: &mut Vec<Vertex>) {
+        out.extend(self.neighbor_edges(led, v).into_iter().map(|e| e.center));
+    }
+
+    fn degree_hint(&self, _v: Vertex) -> usize {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::{BuildOpts, ImplicitDecomposition};
+    use wec_baseline::unionfind::same_partition;
+    use wec_graph::gen::{bounded_degree_connected, grid, path};
+    use wec_graph::{Priorities, Vertex};
+    use wec_prims::multi_bfs;
+
+    fn build<'a>(
+        led: &mut Ledger,
+        g: &'a wec_graph::Csr,
+        pri: &'a Priorities,
+        k: usize,
+        seed: u64,
+    ) -> ImplicitDecomposition<'a, wec_graph::Csr> {
+        let verts: Vec<Vertex> = (0..g.n() as u32).collect();
+        ImplicitDecomposition::build(led, g, pri, &verts, k, seed, BuildOpts::default())
+    }
+
+    #[test]
+    fn neighbor_edges_are_real_boundaries() {
+        let g = grid(8, 8);
+        let pri = Priorities::random(64, 3);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 5, 1);
+        let cg = ClustersGraph::new(&d);
+        for &c in d.centers() {
+            for e in cg.neighbor_edges(&mut led, c) {
+                assert!(g.neighbors(e.inner).contains(&e.outer));
+                assert_eq!(d.rho(&mut led, e.inner).center.vertex(), c);
+                assert_eq!(d.rho(&mut led, e.outer).center.vertex(), e.center);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = bounded_degree_connected(120, 4, 40, 9);
+        let pri = Priorities::random(120, 9);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 6, 2);
+        let cg = ClustersGraph::new(&d);
+        for &c in d.centers() {
+            for e in cg.neighbor_edges(&mut led, c) {
+                let back = cg.neighbor_edges(&mut led, e.center);
+                assert!(
+                    back.iter().any(|b| b.center == c),
+                    "edge {c} -> {} has no reverse",
+                    e.center
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_over_clusters_graph_matches_component_structure() {
+        // Connectivity of the clusters graph == connectivity of G projected
+        // onto centers.
+        let g = wec_graph::gen::disjoint_union(&[&grid(6, 6), &grid(5, 5)]);
+        let n = g.n();
+        let pri = Priorities::random(n, 4);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 4, 7);
+        let cg = ClustersGraph::new(&d);
+        let centers = d.centers().to_vec();
+        assert!(!centers.is_empty());
+        let r = multi_bfs(&mut led, &cg, &centers[..1]);
+        // centers reached = centers in the same G-component as centers[0]
+        let (comp, _) = wec_graph::props::components(&g);
+        let c0 = comp[centers[0] as usize];
+        for &c in &centers {
+            assert_eq!(
+                r.reached(c),
+                comp[c as usize] == c0,
+                "clusters-graph reachability of center {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_from_clusters_graph_match_ground_truth() {
+        // Union the implicit clusters-graph edges; the projected partition
+        // must equal G's connected components.
+        let g = bounded_degree_connected(150, 4, 30, 3);
+        let pri = Priorities::random(150, 5);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 5, 8);
+        let cg = ClustersGraph::new(&d);
+        let mut uf = wec_baseline::UnionFind::new(150);
+        for &c in d.centers() {
+            for e in cg.neighbor_edges(&mut led, c) {
+                uf.union(c, e.center);
+            }
+        }
+        let labels: Vec<u32> = (0..150u32)
+            .map(|v| {
+                let c = d.rho(&mut led, v).center.vertex();
+                uf.find(c)
+            })
+            .collect();
+        let truth = wec_baseline::unionfind::uf_labels(&g);
+        assert!(same_partition(&labels, &truth));
+    }
+
+    #[test]
+    fn listing_cost_is_k_squared_ish_and_write_free() {
+        let g = bounded_degree_connected(400, 4, 100, 1);
+        let pri = Priorities::random(400, 1);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 8, 4);
+        let cg = ClustersGraph::new(&d);
+        let w0 = led.costs().asym_writes;
+        let before = led.costs();
+        let mut listed = 0u64;
+        for &c in d.centers() {
+            listed += 1;
+            let _ = cg.neighbor_edges(&mut led, c);
+        }
+        let per = led.costs().since(&before).operations() / listed;
+        assert_eq!(led.costs().asym_writes, w0, "listing must not write");
+        // O(k²) with constants: k=8 -> generous cap
+        assert!(per <= 400 * 8 * 8, "per-listing ops {per}");
+    }
+
+    #[test]
+    fn path_graph_clusters_chain() {
+        let g = path(30);
+        let pri = Priorities::identity(30);
+        let mut led = Ledger::new(8);
+        let d = build(&mut led, &g, &pri, 5, 12);
+        let cg = ClustersGraph::new(&d);
+        // every cluster on a path has ≤ 2 neighbors
+        for &c in d.centers() {
+            assert!(cg.neighbor_edges(&mut led, c).len() <= 2);
+        }
+    }
+}

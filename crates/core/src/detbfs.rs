@@ -1,0 +1,279 @@
+//! The deterministic tie-breaking BFS of Section 3.
+//!
+//! The paper orders paths of equal hop-length by comparing, at the first
+//! position where they diverge, the *priority* of the vertices there
+//! (higher priority = "shorter"). Under that order, subpaths of shortest
+//! paths are themselves unique shortest paths, so the search from a vertex
+//! enumerates the graph in a canonical order `L(SP(v, ·))` that is
+//! **independent of which vertices happen to be centers** — the property
+//! Lemma 3.2's expectation argument needs.
+//!
+//! Realization: process the search level by level. Within level `d+1`,
+//! the canonical parent of `u` is its level-`d` neighbor whose own rank is
+//! minimal, and vertices are ranked by `(parent's rank, own priority)`:
+//! two canonical paths to different level-`(d+1)` vertices either diverge
+//! before level `d` (compare parent ranks) or at level `d+1` itself
+//! (same parent — compare own priorities).
+//!
+//! Everything lives in **symmetric memory** (hash maps + frontier vectors,
+//! tracked against the ledger's high-water mark): the search performs no
+//! asymmetric writes, which is the whole point.
+
+use crate::centers::{CenterLabel, CenterLookup};
+use wec_asym::{FxHashMap, Ledger};
+use wec_graph::{GraphView, Priorities, Vertex};
+
+/// Per-visited-vertex record (symmetric memory).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeInfo {
+    /// Canonical parent (toward the search start; start's parent = itself).
+    pub parent: Vertex,
+    /// Hop distance from the start.
+    pub level: u32,
+    /// Rank within its level under the canonical order.
+    pub rank: u32,
+}
+
+/// Words of symmetric memory charged per visited vertex (key + record).
+const WORDS_PER_NODE: u64 = 4;
+
+/// A running deterministic search.
+pub struct DetSearch<'a, G: GraphView> {
+    g: &'a G,
+    pri: &'a Priorities,
+    /// Visited records.
+    pub info: FxHashMap<Vertex, NodeInfo>,
+    frontier: Vec<Vertex>,
+    level: u32,
+    sym_words: u64,
+}
+
+impl<'a, G: GraphView> DetSearch<'a, G> {
+    /// Start a search at `start` (level 0, rank 0).
+    pub fn new(led: &mut Ledger, g: &'a G, pri: &'a Priorities, start: Vertex) -> Self {
+        let mut info = FxHashMap::default();
+        info.insert(start, NodeInfo { parent: start, level: 0, rank: 0 });
+        led.op(1);
+        led.sym_alloc(WORDS_PER_NODE);
+        DetSearch { g, pri, info, frontier: vec![start], level: 0, sym_words: WORDS_PER_NODE }
+    }
+
+    /// Current level's vertices in canonical rank order.
+    pub fn frontier(&self) -> &[Vertex] {
+        &self.frontier
+    }
+
+    /// Current level number.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of vertices visited so far.
+    pub fn visited(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Expand to the next level. Returns `false` when the component is
+    /// exhausted (frontier became empty).
+    pub fn advance(&mut self, led: &mut Ledger) -> bool {
+        // candidate -> rank of best (minimal-rank) parent
+        let mut cand: FxHashMap<Vertex, u32> = FxHashMap::default();
+        let mut nbrs: Vec<Vertex> = Vec::new();
+        for (rank, &v) in self.frontier.iter().enumerate() {
+            nbrs.clear();
+            self.g.neighbors_into(led, v, &mut nbrs);
+            for &w in &nbrs {
+                led.op(1);
+                if self.info.contains_key(&w) {
+                    continue;
+                }
+                cand.entry(w)
+                    .and_modify(|r| *r = (*r).min(rank as u32))
+                    .or_insert(rank as u32);
+            }
+        }
+        if cand.is_empty() {
+            self.frontier.clear();
+            return false;
+        }
+        // Canonical order within the new level.
+        let mut next: Vec<(u32, u32, Vertex)> =
+            cand.iter().map(|(&w, &pr)| (pr, self.pri.rank(w), w)).collect();
+        next.sort_unstable();
+        let f = next.len() as u64;
+        led.op(f * (64 - f.leading_zeros() as u64).max(1)); // sort cost
+        self.level += 1;
+        let old_frontier = std::mem::take(&mut self.frontier);
+        let mut new_frontier = Vec::with_capacity(next.len());
+        for (rank, &(pr, _, w)) in next.iter().enumerate() {
+            // Parent ranks refer to the *previous* level's order.
+            let parent = old_frontier[pr as usize];
+            self.info.insert(w, NodeInfo { parent, level: self.level, rank: rank as u32 });
+            led.op(1);
+            new_frontier.push(w);
+        }
+        led.sym_alloc(f * WORDS_PER_NODE);
+        self.sym_words += f * WORDS_PER_NODE;
+        self.frontier = new_frontier;
+        true
+    }
+
+    /// The canonical path `start → v` (inclusive of both endpoints),
+    /// reconstructed from parent pointers. `v` must be visited.
+    pub fn path_from_start(&self, led: &mut Ledger, v: Vertex) -> Vec<Vertex> {
+        let mut rev = vec![v];
+        let mut cur = v;
+        loop {
+            let info = self.info[&cur];
+            led.op(1);
+            if info.parent == cur {
+                break;
+            }
+            cur = info.parent;
+            rev.push(cur);
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Scan the current frontier in canonical order for the first center
+    /// with the given label, charging lookups.
+    pub fn first_in_frontier(
+        &self,
+        led: &mut Ledger,
+        centers: &impl CenterLookup,
+        want: CenterLabel,
+    ) -> Option<Vertex> {
+        self.frontier.iter().copied().find(|&u| centers.lookup(led, u) == Some(want))
+    }
+
+    /// Release the symmetric memory this search charged.
+    pub fn release(self, led: &mut Ledger) {
+        led.sym_free(self.sym_words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_graph::gen::{cycle, grid, path};
+    use wec_graph::Csr;
+
+    fn collect_order(g: &Csr, pri: &Priorities, start: Vertex) -> Vec<Vertex> {
+        let mut led = Ledger::new(8);
+        let mut s = DetSearch::new(&mut led, g, pri, start);
+        let mut order = s.frontier().to_vec();
+        while s.advance(&mut led) {
+            order.extend_from_slice(s.frontier());
+        }
+        s.release(&mut led);
+        assert_eq!(led.sym_live(), 0);
+        order
+    }
+
+    #[test]
+    fn levels_are_bfs_distances() {
+        let g = grid(5, 5);
+        let pri = Priorities::identity(25);
+        let mut led = Ledger::new(8);
+        let mut s = DetSearch::new(&mut led, &g, &pri, 0);
+        while s.advance(&mut led) {}
+        let dist = wec_graph::props::bfs_distances(&g, 0);
+        for v in 0..25u32 {
+            assert_eq!(s.info[&v].level, dist[v as usize], "level of {v}");
+        }
+        s.release(&mut led);
+    }
+
+    #[test]
+    fn priority_breaks_ties_within_level() {
+        // Star-of-two: 0 adjacent to 1 and 2; identity priorities => 1 ranks
+        // before 2.
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2)]);
+        let pri = Priorities::identity(3);
+        let order = collect_order(&g, &pri, 0);
+        assert_eq!(order, vec![0, 1, 2]);
+        // Reversed priorities flip the tie.
+        let pri2 = Priorities::from_ranks(vec![0, 2, 1]);
+        let order2 = collect_order(&g, &pri2, 0);
+        assert_eq!(order2, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn parent_rank_dominates_own_priority() {
+        // 0 - 1, 0 - 2 ; 1 - 3, 2 - 4. With identity priorities, level-1
+        // order is [1, 2]; level-2 order must be [3, 4] because 3's parent
+        // (1) outranks 4's parent (2), regardless of 3/4's own priorities.
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        let pri = Priorities::from_ranks(vec![0, 1, 2, 4, 3]); // 4 beats 3
+        let order = collect_order(&g, &pri, 0);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn canonical_parent_is_min_rank_neighbor() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. 3's parents could be 1 or 2; the
+        // canonical parent is the one ranked first in level 1.
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let pri = Priorities::identity(4);
+        let mut led = Ledger::new(8);
+        let mut s = DetSearch::new(&mut led, &g, &pri, 0);
+        s.advance(&mut led);
+        s.advance(&mut led);
+        assert_eq!(s.info[&3].parent, 1);
+        let path = s.path_from_start(&mut led, 3);
+        assert_eq!(path, vec![0, 1, 3]);
+        s.release(&mut led);
+        // flip priorities of 1 and 2
+        let pri2 = Priorities::from_ranks(vec![0, 2, 1, 3]);
+        let mut led2 = Ledger::new(8);
+        let mut s2 = DetSearch::new(&mut led2, &g, &pri2, 0);
+        s2.advance(&mut led2);
+        s2.advance(&mut led2);
+        assert_eq!(s2.info[&3].parent, 2);
+        s2.release(&mut led2);
+    }
+
+    #[test]
+    fn search_does_no_asymmetric_writes() {
+        let g = grid(6, 6);
+        let pri = Priorities::random(36, 1);
+        let mut led = Ledger::new(8);
+        let mut s = DetSearch::new(&mut led, &g, &pri, 17);
+        while s.advance(&mut led) {}
+        assert_eq!(led.costs().asym_writes, 0);
+        assert!(led.sym_peak() >= 36 * WORDS_PER_NODE);
+        s.release(&mut led);
+    }
+
+    #[test]
+    fn exhaustion_on_cycle() {
+        let g = cycle(7);
+        let pri = Priorities::identity(7);
+        let order = collect_order(&g, &pri, 3);
+        assert_eq!(order.len(), 7);
+        assert_eq!(order[0], 3);
+    }
+
+    #[test]
+    fn path_from_start_is_shortest() {
+        let g = path(10);
+        let pri = Priorities::identity(10);
+        let mut led = Ledger::new(8);
+        let mut s = DetSearch::new(&mut led, &g, &pri, 0);
+        while s.advance(&mut led) {}
+        assert_eq!(s.path_from_start(&mut led, 4), vec![0, 1, 2, 3, 4]);
+        s.release(&mut led);
+    }
+
+    #[test]
+    fn order_independent_of_start_time_of_centers() {
+        // The search order must be a pure function of (graph, priorities):
+        // the same from any fixed start regardless of external state.
+        let g = grid(4, 4);
+        let pri = Priorities::random(16, 9);
+        let o1 = collect_order(&g, &pri, 5);
+        let o2 = collect_order(&g, &pri, 5);
+        assert_eq!(o1, o2);
+    }
+}

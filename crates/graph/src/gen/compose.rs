@@ -1,0 +1,95 @@
+//! Combinators over generated graphs: unions, relabelings, densification.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wec_asym::FxHashSet;
+
+/// Disjoint union, relabeling each input's vertices into a shared id space.
+/// Used to build multi-component inputs for the unconnected-graph paths of
+/// the decomposition and oracles.
+pub fn disjoint_union(parts: &[&Csr]) -> Csr {
+    let n: usize = parts.iter().map(|g| g.n()).sum();
+    let mut edges = Vec::with_capacity(parts.iter().map(|g| g.m()).sum());
+    let mut base: Vertex = 0;
+    for g in parts {
+        for &(u, v) in g.edges() {
+            edges.push((base + u, base + v));
+        }
+        base += g.n() as Vertex;
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Random vertex relabeling: isomorphic copy with ids permuted by the seed.
+/// Algorithms must be label-oblivious; tests compare before/after answers.
+pub fn shuffle_labels(g: &Csr, seed: u64) -> (Csr, Vec<Vertex>) {
+    let n = g.n();
+    let mut map: Vec<Vertex> = (0..n as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5348_5546);
+    map.shuffle(&mut rng);
+    let edges: Vec<_> =
+        g.edges().iter().map(|&(u, v)| (map[u as usize], map[v as usize])).collect();
+    (Csr::from_edges(n, &edges), map)
+}
+
+/// Add up to `extra` uniformly random new edges (no dedup failures — skips
+/// duplicates and self-loops). Densification knob for crossover sweeps.
+pub fn add_random_edges(g: &Csr, extra: usize, seed: u64) -> Csr {
+    let n = g.n();
+    assert!(n >= 2, "need at least 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x616464);
+    let mut seen: FxHashSet<(Vertex, Vertex)> = g.edges().iter().copied().collect();
+    let mut edges = g.edges().to_vec();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < 100 * extra.max(1) {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            edges.push(e);
+            added += 1;
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path};
+    use crate::props;
+
+    #[test]
+    fn union_offsets_ids() {
+        let a = path(3);
+        let b = cycle(4);
+        let u = disjoint_union(&[&a, &b]);
+        assert_eq!(u.n(), 7);
+        assert_eq!(u.m(), 2 + 4);
+        assert_eq!(props::components(&u).1, 2);
+        assert!(u.has_edge(3, 4)); // cycle edges shifted by 3
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = cycle(9);
+        let (h, map) = shuffle_labels(&g, 3);
+        assert_eq!(h.m(), g.m());
+        assert!((0..9u32).all(|v| h.degree(map[v as usize]) == g.degree(v)));
+    }
+
+    #[test]
+    fn add_edges_grows() {
+        let g = path(50);
+        let h = add_random_edges(&g, 30, 1);
+        assert_eq!(h.m(), 49 + 30);
+    }
+}

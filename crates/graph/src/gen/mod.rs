@@ -1,0 +1,14 @@
+//! Deterministic, seeded graph generators for tests and benchmarks.
+//!
+//! Every generator is a pure function of its parameters (including the
+//! seed), so experiments are reproducible bit-for-bit.
+
+mod compose;
+mod random;
+mod special;
+
+pub use compose::{add_random_edges, disjoint_union, shuffle_labels};
+pub use random::{bounded_degree_connected, chung_lu, gnm, random_regular, random_tree_bounded};
+pub use special::{
+    binary_tree, caterpillar, complete, complete_bipartite, cycle, grid, ladder, path, star, torus,
+};

@@ -1,0 +1,274 @@
+//! Seeded random graph families.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wec_asym::FxHashSet;
+
+fn rng_for(seed: u64, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ salt)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges, no self-loops.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2 || m == 0, "need at least 2 vertices for edges");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "requested more edges than the simple graph holds");
+    let mut rng = rng_for(seed, 0x6e72);
+    let mut set: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
+    set.reserve(m);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if set.insert(e) {
+            edges.push(e);
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Random `d`-regular simple graph via the pairing (configuration) model
+/// with **edge-swap repair**: pair stubs randomly, then repeatedly fix
+/// self-loops and duplicate edges by switching a violating pair with a
+/// random other pair (a double edge swap preserves all degrees). Requires
+/// `n·d` even and `d < n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Csr {
+    assert!(d < n, "degree must be below n");
+    assert!(n * d % 2 == 0, "n*d must be even");
+    let mut rng = rng_for(seed, 0x726567);
+    // Stubs: d copies of each vertex, randomly paired (Fisher–Yates).
+    let mut stubs: Vec<Vertex> =
+        (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut pairs: Vec<(Vertex, Vertex)> =
+        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    let np = pairs.len();
+    let canon = |(u, v): (Vertex, Vertex)| (u.min(v), u.max(v));
+    let mut multiset: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
+    let violates = |p: (Vertex, Vertex), set: &FxHashSet<(Vertex, Vertex)>| {
+        p.0 == p.1 || set.contains(&canon(p))
+    };
+    for i in 0..np {
+        let p = pairs[i];
+        if p.0 != p.1 {
+            multiset.insert(canon(p)); // duplicates collapse; detected below
+        }
+    }
+    // Rebuild the set exactly, tracking which pair indices are bad.
+    multiset.clear();
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &p) in pairs.iter().enumerate() {
+        if p.0 == p.1 || !multiset.insert(canon(p)) {
+            bad.push(i);
+        }
+    }
+    let mut budget = 200 * np + 10_000;
+    while let Some(&i) = bad.last() {
+        assert!(budget > 0, "random_regular: repair did not converge (n={n}, d={d})");
+        budget -= 1;
+        let j = rng.gen_range(0..np);
+        if j == i {
+            continue;
+        }
+        let (a, b) = pairs[i];
+        let (c, e) = pairs[j];
+        // Propose swap: (a,c) and (b,e).
+        let p1 = (a, c);
+        let p2 = (b, e);
+        // Remove pair j from the set if it was good (present).
+        let j_was_good = !bad.contains(&j);
+        if j_was_good {
+            multiset.remove(&canon((c, e)));
+        }
+        let ok = !violates(p1, &multiset) && {
+            multiset.insert(canon(p1));
+            let ok2 = !violates(p2, &multiset);
+            if !ok2 {
+                multiset.remove(&canon(p1));
+            }
+            ok2
+        };
+        if ok {
+            multiset.insert(canon(p2));
+            pairs[i] = p1;
+            pairs[j] = p2;
+            bad.pop();
+            if !j_was_good {
+                bad.retain(|&x| x != j);
+            }
+        } else if j_was_good {
+            multiset.insert(canon((c, e)));
+        }
+    }
+    Csr::from_edges(n, &pairs)
+}
+
+/// Random tree on `n` vertices with maximum degree ≤ `max_deg`: each vertex
+/// `v ≥ 1` attaches to a uniformly random earlier vertex that still has
+/// spare degree. Deterministic in the seed.
+pub fn random_tree_bounded(n: usize, max_deg: usize, seed: u64) -> Csr {
+    assert!(max_deg >= 2, "max_deg must be at least 2");
+    let mut rng = rng_for(seed, 0x7472_6565);
+    let mut deg = vec![0usize; n];
+    // Vertices that can still accept a child.
+    let mut open: Vec<Vertex> = Vec::with_capacity(n);
+    if n > 0 {
+        open.push(0);
+    }
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as u32 {
+        let idx = rng.gen_range(0..open.len());
+        let p = open[idx];
+        edges.push((p, v));
+        deg[p as usize] += 1;
+        deg[v as usize] += 1;
+        if deg[p as usize] >= max_deg {
+            open.swap_remove(idx);
+        }
+        if deg[v as usize] < max_deg {
+            open.push(v);
+        }
+        assert!(!open.is_empty() || v as usize == n - 1, "degree budget exhausted");
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Connected bounded-degree random graph: a degree-capped random spanning
+/// tree plus `extra` random non-tree edges that respect the cap. This is
+/// the workhorse input family for the implicit-decomposition experiments
+/// (the paper's sparse, bounded-degree regime).
+pub fn bounded_degree_connected(n: usize, max_deg: usize, extra: usize, seed: u64) -> Csr {
+    assert!(max_deg >= 3, "need max_deg >= 3 to add non-tree edges");
+    let tree = random_tree_bounded(n, max_deg - 1, seed);
+    let mut deg: Vec<usize> = (0..n as u32).map(|v| tree.degree(v)).collect();
+    let mut edges: Vec<(Vertex, Vertex)> = tree.edges().to_vec();
+    let mut seen: FxHashSet<(Vertex, Vertex)> = edges.iter().copied().collect();
+    let mut rng = rng_for(seed, 0x626463);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < 50 * extra.max(1) {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v || deg[u as usize] >= max_deg || deg[v as usize] >= max_deg {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            edges.push(e);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            added += 1;
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Chung–Lu style power-law graph: vertex `v` gets weight `(v+1)^(-1/(γ−1))`
+/// (scaled), and `m` edges are sampled proportional to weight products.
+/// Produces the skewed-degree inputs for the Section 6 transformation.
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Csr {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(n >= 2 || m == 0, "need at least 2 vertices for edges");
+    let mut rng = rng_for(seed, 0x706c_6177);
+    let exponent = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut SmallRng| -> Vertex {
+        let x = rng.gen::<f64>() * total;
+        cum.partition_point(|&c| c < x).min(n - 1) as Vertex
+    };
+    let mut seen: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0;
+    while edges.len() < m && attempts < 100 * m.max(1) {
+        attempts += 1;
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn gnm_exact_edge_count_and_deterministic() {
+        let g1 = gnm(50, 120, 3);
+        let g2 = gnm(50, 120, 3);
+        let g3 = gnm(50, 120, 4);
+        assert_eq!(g1.m(), 120);
+        assert_eq!(g1.edges(), g2.edges());
+        assert_ne!(g1.edges(), g3.edges());
+    }
+
+    #[test]
+    fn gnm_extremes() {
+        assert_eq!(gnm(5, 10, 0).m(), 10); // complete K5
+        assert_eq!(gnm(5, 0, 0).m(), 0);
+    }
+
+    #[test]
+    fn regular_graph_is_regular_and_simple() {
+        let g = random_regular(100, 4, 11);
+        assert!((0..100u32).all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 200);
+    }
+
+    #[test]
+    fn regular_graph_deterministic() {
+        let a = random_regular(60, 3, 5);
+        let b = random_regular(60, 3, 5);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn bounded_tree_is_spanning_tree() {
+        let g = random_tree_bounded(200, 4, 9);
+        assert_eq!(g.m(), 199);
+        assert!(g.max_degree() <= 4);
+        assert_eq!(props::components(&g).1, 1);
+    }
+
+    #[test]
+    fn bounded_connected_respects_cap_and_connectivity() {
+        let g = bounded_degree_connected(300, 6, 150, 42);
+        assert!(g.max_degree() <= 6);
+        assert!(g.m() >= 299);
+        assert_eq!(props::components(&g).1, 1);
+    }
+
+    #[test]
+    fn chung_lu_is_skewed() {
+        let g = chung_lu(500, 1000, 2.2, 7);
+        assert!(g.m() > 800, "sampling should reach close to target");
+        let dmax = g.max_degree();
+        let avg = 2.0 * g.m() as f64 / 500.0;
+        assert!(dmax as f64 > 4.0 * avg, "power law should have heavy head: max {dmax} avg {avg}");
+    }
+}

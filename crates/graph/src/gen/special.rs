@@ -1,0 +1,202 @@
+//! Structured graph families with known connectivity/biconnectivity
+//! structure — the backbone of the differential test suites.
+
+use crate::csr::Csr;
+use crate::Vertex;
+
+/// Path `0 − 1 − … − (n−1)`. Every internal vertex is an articulation
+/// point; every edge is a bridge.
+pub fn path(n: usize) -> Csr {
+    let edges: Vec<_> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// Cycle on `n ≥ 3` vertices: one biconnected component, no bridges.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    edges.push((n as Vertex - 1, 0));
+    Csr::from_edges(n, &edges)
+}
+
+/// Star with center 0 and `n−1` leaves — the canonical unbounded-degree
+/// stress case for the Section 6 transformation.
+pub fn star(n: usize) -> Csr {
+    let edges: Vec<_> = (1..n as Vertex).map(|v| (0, v)).collect();
+    Csr::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Csr {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            edges.push((u, v));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Complete bipartite graph `K_{a,b}` (left ids `0..a`, right `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Csr {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as Vertex {
+        for v in 0..b as Vertex {
+            edges.push((u, a as Vertex + v));
+        }
+    }
+    Csr::from_edges(a + b, &edges)
+}
+
+/// `rows × cols` grid; degree ≤ 4, diameter `rows + cols − 2`.
+pub fn grid(rows: usize, cols: usize) -> Csr {
+    let at = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    Csr::from_edges(rows * cols, &edges)
+}
+
+/// `rows × cols` torus (grid with wraparound); 4-regular for dims ≥ 3.
+pub fn torus(rows: usize, cols: usize) -> Csr {
+    assert!(rows >= 3 && cols >= 3, "torus needs dims >= 3");
+    let at = |r: usize, c: usize| (r * cols + c) as Vertex;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((at(r, c), at(r, (c + 1) % cols)));
+            edges.push((at(r, c), at((r + 1) % rows, c)));
+        }
+    }
+    Csr::from_edges(rows * cols, &edges)
+}
+
+/// Ladder: two paths of length `n` joined by rungs — biconnected, degree ≤ 3.
+pub fn ladder(n: usize) -> Csr {
+    assert!(n >= 2, "ladder needs at least 2 rungs");
+    let mut edges = Vec::with_capacity(3 * n);
+    for i in 0..n as Vertex {
+        edges.push((i, n as Vertex + i));
+        if i + 1 < n as Vertex {
+            edges.push((i, i + 1));
+            edges.push((n as Vertex + i, n as Vertex + i + 1));
+        }
+    }
+    Csr::from_edges(2 * n, &edges)
+}
+
+/// Complete binary tree on `n` vertices (heap numbering): degree ≤ 3, every
+/// edge a bridge.
+pub fn binary_tree(n: usize) -> Csr {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n as Vertex {
+        edges.push(((v - 1) / 2, v));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. Worst-case-ish tree for decomposition splitters.
+pub fn caterpillar(spine: usize, legs: usize) -> Csr {
+    let n = spine * (1 + legs);
+    let mut edges = Vec::with_capacity(n);
+    for s in 1..spine as Vertex {
+        edges.push((s - 1, s));
+    }
+    let mut next = spine as Vertex;
+    for s in 0..spine as Vertex {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert_eq!(g.m(), 7);
+        assert!((0..7u32).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+    }
+
+    #[test]
+    fn grid_degrees_bounded() {
+        let g = grid(4, 6);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 4 * 5 + 3 * 6);
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert!((0..20u32).all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 40);
+    }
+
+    #[test]
+    fn ladder_degree_3() {
+        let g = ladder(5);
+        assert_eq!(g.n(), 10);
+        assert!(g.max_degree() <= 3);
+        assert_eq!(g.m(), 5 + 2 * 4);
+    }
+
+    #[test]
+    fn binary_tree_is_tree() {
+        let g = binary_tree(15);
+        assert_eq!(g.m(), 14);
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.degree(1), 2 + 3);
+    }
+}

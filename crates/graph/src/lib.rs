@@ -1,0 +1,40 @@
+//! # wec-graph — graph substrate
+//!
+//! Immutable CSR graphs, deterministic seeded generators, vertex priorities
+//! (the paper's "global ordering of the vertices"), and the Section 6
+//! bounded-degree transformation.
+//!
+//! Conventions shared by the whole workspace:
+//!
+//! * Vertices are `u32` ids `0..n` (perf-book: small indices).
+//! * Graphs are undirected; CSR stores each edge as two directed arcs, each
+//!   carrying the undirected edge id. Adjacency lists are sorted.
+//! * Self-loops are dropped and parallel edges deduplicated by the standard
+//!   builder ([`Csr::from_edges`]); the paper tolerates both for
+//!   connectivity, but its biconnectivity definitions (footnote 3) treat
+//!   duplicates as a single edge, so canonical simple graphs are the common
+//!   currency. A multigraph-preserving builder
+//!   ([`Csr::from_edges_multigraph`]) exists for connectivity-only tests.
+//! * **The input graph is free to store** (the paper does not charge for
+//!   initially storing the graph in memory) but *reading* it costs ordinary
+//!   asymmetric reads, charged through [`view::GraphView`].
+
+pub mod bounded;
+pub mod csr;
+pub mod gen;
+pub mod masked;
+pub mod perm;
+pub mod props;
+pub mod view;
+
+pub use bounded::BoundedDegreeView;
+pub use csr::Csr;
+pub use masked::MaskedCsr;
+pub use perm::Priorities;
+pub use view::GraphView;
+
+/// Vertex id type used across the workspace.
+pub type Vertex = u32;
+
+/// Undirected edge id type (index into the canonical edge list).
+pub type EdgeId = u32;

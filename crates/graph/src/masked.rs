@@ -1,0 +1,122 @@
+//! A CSR graph with a subset of edges masked out — no rebuilding, no
+//! writes beyond the mask bitmap itself.
+//!
+//! §5.2 of the paper "removes all critical edges and runs graph
+//! connectivity on all remaining graph edges"; rebuilding the graph would
+//! cost `Θ(m)` writes, so instead connectivity runs over this view, whose
+//! adjacency skips masked edges on the fly. The mask is `O(m)` **bits**
+//! (`m/64` words), and only the masked entries are ever written.
+
+use crate::csr::Csr;
+use crate::view::GraphView;
+use crate::{EdgeId, Vertex};
+use wec_asym::Ledger;
+
+/// An edge-masked view of a [`Csr`].
+#[derive(Debug, Clone)]
+pub struct MaskedCsr<'a> {
+    g: &'a Csr,
+    banned: Vec<u64>,
+    num_banned: usize,
+}
+
+impl<'a> MaskedCsr<'a> {
+    /// All edges visible. Charges the bitmap allocation (`⌈m/64⌉` writes).
+    pub fn new(led: &mut Ledger, g: &'a Csr) -> Self {
+        let words = g.m().div_ceil(64);
+        led.write(words as u64);
+        MaskedCsr { g, banned: vec![0; words.max(1)], num_banned: 0 }
+    }
+
+    /// Mask an edge by id (idempotent). One write per newly masked edge.
+    pub fn ban(&mut self, led: &mut Ledger, eid: EdgeId) {
+        let (w, b) = (eid as usize / 64, eid as usize % 64);
+        if self.banned[w] & (1 << b) == 0 {
+            self.banned[w] |= 1 << b;
+            self.num_banned += 1;
+            led.write(1);
+        }
+    }
+
+    /// Whether an edge is masked. One read.
+    pub fn is_banned(&self, led: &mut Ledger, eid: EdgeId) -> bool {
+        led.read(1);
+        self.banned[eid as usize / 64] & (1 << (eid as usize % 64)) != 0
+    }
+
+    /// Number of masked edges.
+    pub fn num_banned(&self) -> usize {
+        self.num_banned
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a Csr {
+        self.g
+    }
+
+    /// The `i`-th undirected edge unless masked (the shape
+    /// `connectivity_general`'s edge enumerator wants).
+    pub fn edge_at(&self, led: &mut Ledger, i: usize) -> Option<(Vertex, Vertex)> {
+        led.read(2);
+        if self.banned[i / 64] & (1 << (i % 64)) != 0 {
+            None
+        } else {
+            Some(self.g.edge(i as EdgeId))
+        }
+    }
+}
+
+impl GraphView for MaskedCsr<'_> {
+    fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    fn neighbors_into(&self, led: &mut Ledger, v: Vertex, out: &mut Vec<Vertex>) {
+        let adj = self.g.neighbors(v);
+        let eids = self.g.neighbor_edge_ids(v);
+        led.read(adj.len() as u64 + 1);
+        for (&w, &e) in adj.iter().zip(eids) {
+            led.read(1); // mask bit
+            if self.banned[e as usize / 64] & (1 << (e as usize % 64)) == 0 {
+                out.push(w);
+            }
+        }
+    }
+
+    fn degree_hint(&self, v: Vertex) -> usize {
+        self.g.degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::cycle;
+
+    #[test]
+    fn masking_hides_edges_from_adjacency() {
+        let g = cycle(5);
+        let mut led = Ledger::new(8);
+        let mut m = MaskedCsr::new(&mut led, &g);
+        let eid = g.neighbor_edge_ids(0)[0];
+        m.ban(&mut led, eid);
+        m.ban(&mut led, eid); // idempotent
+        assert_eq!(m.num_banned(), 1);
+        let nb = m.neighbors_vec(&mut led, 0);
+        assert_eq!(nb.len(), 1);
+        assert!(m.is_banned(&mut led, eid));
+        assert_eq!(m.edge_at(&mut led, eid as usize), None);
+        let other = (eid as usize + 1) % g.m();
+        assert!(m.edge_at(&mut led, other).is_some());
+    }
+
+    #[test]
+    fn unmasked_view_matches_graph() {
+        let g = cycle(6);
+        let mut led = Ledger::new(8);
+        let m = MaskedCsr::new(&mut led, &g);
+        for v in 0..6u32 {
+            assert_eq!(m.neighbors_vec(&mut led, v), g.neighbors(v).to_vec());
+        }
+    }
+}

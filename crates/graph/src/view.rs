@@ -1,0 +1,100 @@
+//! The [`GraphView`] abstraction: ledger-charged neighbor enumeration.
+//!
+//! The paper's §4.3 runs connectivity over a *clusters graph that is never
+//! materialized* — its edges are produced on demand by decomposition queries
+//! that each cost `O(k²)` operations. Algorithms that must work over both
+//! explicit CSR graphs and such implicit graphs are written against this
+//! trait, which threads the cost ledger through neighbor enumeration so the
+//! implicit representation can charge its query costs.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use wec_asym::Ledger;
+
+/// An undirected graph whose adjacency can be enumerated at a model cost.
+pub trait GraphView: Sync {
+    /// Number of vertices (ids are `0..n`). For implicit views this may be
+    /// an id-space *bound* with holes; `is_vertex` discriminates.
+    fn n(&self) -> usize;
+
+    /// Whether `v` is an actual vertex of the view.
+    fn is_vertex(&self, v: Vertex) -> bool {
+        (v as usize) < self.n()
+    }
+
+    /// Append the neighbors of `v` to `out`, charging `led` for the reads
+    /// (and, for implicit views, the query operations) this costs.
+    fn neighbors_into(&self, led: &mut Ledger, v: Vertex, out: &mut Vec<Vertex>);
+
+    /// A cheap upper bound on the degree of `v`, when available, for
+    /// preallocation. 0 means unknown.
+    fn degree_hint(&self, _v: Vertex) -> usize {
+        0
+    }
+
+    /// Convenience wrapper allocating a fresh vector.
+    fn neighbors_vec(&self, led: &mut Ledger, v: Vertex) -> Vec<Vertex> {
+        let mut out = Vec::with_capacity(self.degree_hint(v));
+        self.neighbors_into(led, v, &mut out);
+        out
+    }
+}
+
+impl GraphView for Csr {
+    fn n(&self) -> usize {
+        self.n()
+    }
+
+    fn neighbors_into(&self, led: &mut Ledger, v: Vertex, out: &mut Vec<Vertex>) {
+        let adj = self.neighbors(v);
+        // One asymmetric read per adjacency word, plus one for the offsets.
+        led.read(adj.len() as u64 + 1);
+        out.extend_from_slice(adj);
+    }
+
+    fn degree_hint(&self, v: Vertex) -> usize {
+        self.degree(v)
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for &G {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn is_vertex(&self, v: Vertex) -> bool {
+        (**self).is_vertex(v)
+    }
+
+    fn neighbors_into(&self, led: &mut Ledger, v: Vertex, out: &mut Vec<Vertex>) {
+        (**self).neighbors_into(led, v, out)
+    }
+
+    fn degree_hint(&self, v: Vertex) -> usize {
+        (**self).degree_hint(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_view_charges_reads() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let mut led = Ledger::new(8);
+        let nb = g.neighbors_vec(&mut led, 0);
+        assert_eq!(nb, vec![1, 2, 3]);
+        assert_eq!(led.costs().asym_reads, 4);
+        assert_eq!(led.costs().asym_writes, 0);
+    }
+
+    #[test]
+    fn reference_forwarding_works() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        fn generic_n(v: &impl GraphView) -> usize {
+            v.n()
+        }
+        assert_eq!(generic_n(&&g), 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Write-efficient level-synchronous BFS over any [`GraphView`].
+//!
+//! Writes are O(number of reached vertices) — three words per vertex
+//! (parent, level, owning source) plus the packed frontier arrays — while
+//! reads are linear in the edges examined. This mirrors the write-efficient
+//! BFS of Ben-David et al. that the paper plugs into the Miller–Peng–Xu
+//! decomposition (Theorem 4.1) and into §4.2 step 2.
+//!
+//! The driver supports *per-round source injection*: before each level is
+//! expanded, a callback may add new BFS sources. That is exactly the shape
+//! of the MPX decomposition ("on iteration i, BFS's are started from
+//! unexplored vertices v where δ_v ∈ [i, i+1)").
+
+use wec_asym::Ledger;
+use wec_graph::{GraphView, Vertex};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Marker for unvisited vertices in [`BfsResult::parent`] / levels.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Chunk size for parallel frontier processing (fixed for deterministic
+/// accounting).
+const FRONTIER_GRAIN: usize = 128;
+
+/// Output of a (multi-source) BFS.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// BFS-forest parent; `parent[s] = s` for sources, [`UNREACHED`] if
+    /// never visited. Any claimed parent is at the previous level, so this
+    /// is a valid BFS forest even under concurrent claims.
+    pub parent: Vec<Vertex>,
+    /// Hop distance from the owning source ([`UNREACHED`] if unvisited).
+    pub level: Vec<u32>,
+    /// Which source's search claimed the vertex (`= v` for sources).
+    pub source_of: Vec<Vertex>,
+    /// Number of vertices visited.
+    pub visited: usize,
+    /// Number of frontier-expansion rounds executed.
+    pub rounds: usize,
+}
+
+impl BfsResult {
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: Vertex) -> bool {
+        self.parent[v as usize] != UNREACHED
+    }
+}
+
+/// Sources to start at a given round, plus whether more injections may
+/// follow (the search only terminates on an empty frontier once `done`).
+pub struct Injection {
+    /// Vertices to start this round (already-visited ones are skipped).
+    pub sources: Vec<Vertex>,
+    /// No further injections will come.
+    pub done: bool,
+}
+
+/// Multi-source BFS: all `sources` start at level 0.
+pub fn multi_bfs(led: &mut Ledger, g: &impl GraphView, sources: &[Vertex]) -> BfsResult {
+    let mut first = Some(sources.to_vec());
+    bfs_with_injection(led, g, &mut |_, _| Injection {
+        sources: first.take().unwrap_or_default(),
+        done: true,
+    })
+}
+
+/// The injection-driven BFS engine. See module docs for accounting.
+pub fn bfs_with_injection(
+    led: &mut Ledger,
+    g: &impl GraphView,
+    inject: &mut dyn FnMut(usize, &mut Ledger) -> Injection,
+) -> BfsResult {
+    let n = g.n();
+    // Parent/source/level records live in asymmetric memory; the arrays are
+    // allocated but a slot is only *written* (and charged) when claimed.
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let source_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let mut visited = 0usize;
+
+    let mut frontier: Vec<Vertex> = Vec::new();
+    let mut round = 0usize;
+    let mut done = false;
+    loop {
+        if !done {
+            let inj = inject(round, led);
+            done = inj.done;
+            for s in inj.sources {
+                led.read(1); // check visited
+                if parent[s as usize]
+                    .compare_exchange(UNREACHED, s, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    led.write(3); // parent + source + level records
+                    source_of[s as usize].store(s, Ordering::Relaxed);
+                    level[s as usize].store(round as u32, Ordering::Relaxed);
+                    led.write(1); // frontier slot
+                    frontier.push(s);
+                    visited += 1;
+                }
+            }
+        }
+        if frontier.is_empty() {
+            if done {
+                break;
+            }
+            round += 1;
+            continue;
+        }
+
+        let fr = &frontier;
+        let parent_ref = &parent;
+        let source_ref = &source_of;
+        let level_ref = &level;
+        let next_level = round as u32 + 1;
+        // Expand the frontier in parallel chunks; each chunk charges its own
+        // reads, claim writes, and the writes for the next-frontier elements
+        // it packs (so per-round depth is the max chunk, as in the paper's
+        // packing-based BFS).
+        let parts: Vec<Vec<Vertex>> = led.par_map(fr.len(), FRONTIER_GRAIN, &|i, l| {
+            let v = fr[i];
+            let src = source_ref[v as usize].load(Ordering::Relaxed);
+            let mut out = Vec::new();
+            let mut nbrs = Vec::with_capacity(g.degree_hint(v));
+            g.neighbors_into(l, v, &mut nbrs);
+            for w in nbrs {
+                l.read(1); // visited check / claim attempt
+                if parent_ref[w as usize]
+                    .compare_exchange(UNREACHED, v, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    l.write(3);
+                    source_ref[w as usize].store(src, Ordering::Relaxed);
+                    level_ref[w as usize].store(next_level, Ordering::Relaxed);
+                    l.write(1); // next-frontier slot
+                    out.push(w);
+                }
+            }
+            out
+        });
+        frontier = {
+            let mut next = Vec::new();
+            led.op(parts.len() as u64); // concatenation bookkeeping
+            for p in parts {
+                next.extend(p);
+            }
+            next
+        };
+        visited += frontier.len();
+        round += 1;
+    }
+
+    BfsResult {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        source_of: source_of.into_iter().map(AtomicU32::into_inner).collect(),
+        visited,
+        rounds: round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_graph::gen::{cycle, disjoint_union, gnm, grid, path};
+    use wec_graph::props;
+
+    fn check_valid_bfs_forest(g: &wec_graph::Csr, r: &BfsResult, sources: &[Vertex]) {
+        let dist_all: Vec<Vec<u32>> =
+            sources.iter().map(|&s| props::bfs_distances(g, s)).collect();
+        for v in 0..g.n() as u32 {
+            if !r.reached(v) {
+                assert!(dist_all.iter().all(|d| d[v as usize] == u32::MAX));
+                continue;
+            }
+            // level must equal the min distance over all sources
+            let best = dist_all.iter().map(|d| d[v as usize]).min().unwrap();
+            assert_eq!(r.level[v as usize], best, "level of {v}");
+            let p = r.parent[v as usize];
+            if sources.contains(&v) && r.level[v as usize] == 0 {
+                assert_eq!(p, v);
+            } else {
+                assert!(g.neighbors(v).contains(&p), "parent {p} must be a neighbor of {v}");
+                assert_eq!(r.level[p as usize] + 1, r.level[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_levels_match_plain_bfs() {
+        let g = grid(7, 9);
+        let mut led = Ledger::new(8);
+        let r = multi_bfs(&mut led, &g, &[0]);
+        check_valid_bfs_forest(&g, &r, &[0]);
+        assert_eq!(r.visited, 63);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path(100);
+        let mut led = Ledger::new(8);
+        let r = multi_bfs(&mut led, &g, &[0, 99]);
+        check_valid_bfs_forest(&g, &r, &[0, 99]);
+        assert_eq!(r.level[50], 49);
+        assert_eq!(r.source_of[10], 0);
+        assert_eq!(r.source_of[90], 99);
+    }
+
+    #[test]
+    fn unreached_components_stay_unreached() {
+        let g = disjoint_union(&[&cycle(5), &cycle(6)]);
+        let mut led = Ledger::new(8);
+        let r = multi_bfs(&mut led, &g, &[0]);
+        assert_eq!(r.visited, 5);
+        assert!(!r.reached(7));
+        assert_eq!(r.source_of[7], UNREACHED);
+    }
+
+    #[test]
+    fn writes_linear_in_reached_not_edges() {
+        let g = gnm(2000, 30_000, 1);
+        let mut led = Ledger::new(16);
+        let r = multi_bfs(&mut led, &g, &[0]);
+        let writes = led.costs().asym_writes;
+        // 4 writes per visited vertex (3 record words + frontier slot)
+        assert!(writes <= 4 * r.visited as u64 + 64, "writes {writes} vs visited {}", r.visited);
+        assert!(led.costs().asym_reads >= 2 * 30_000); // arcs examined both ways
+    }
+
+    #[test]
+    fn injection_starts_late_sources() {
+        let g = disjoint_union(&[&path(10), &path(10)]);
+        let mut led = Ledger::new(8);
+        let r = bfs_with_injection(&mut led, &g, &mut |round, _| match round {
+            0 => Injection { sources: vec![0], done: false },
+            3 => Injection { sources: vec![10], done: true },
+            _ => Injection { sources: vec![], done: false },
+        });
+        assert_eq!(r.level[0], 0);
+        assert_eq!(r.level[10], 3); // started at round 3
+        assert_eq!(r.level[15], 8);
+        assert_eq!(r.visited, 20);
+    }
+
+    #[test]
+    fn injection_skips_already_visited() {
+        let g = path(6);
+        let mut led = Ledger::new(8);
+        let r = bfs_with_injection(&mut led, &g, &mut |round, _| match round {
+            0 => Injection { sources: vec![0], done: false },
+            2 => Injection { sources: vec![1, 5], done: true }, // 1 already visited
+            _ => Injection { sources: vec![], done: false },
+        });
+        assert_eq!(r.source_of[1], 0);
+        assert_eq!(r.source_of[5], 5);
+        assert_eq!(r.level[4], 3); // claimed by source 5 at round 2 + 1
+    }
+
+    #[test]
+    fn empty_sources_terminate() {
+        let g = path(4);
+        let mut led = Ledger::new(8);
+        let r = multi_bfs(&mut led, &g, &[]);
+        assert_eq!(r.visited, 0);
+        assert!(r.parent.iter().all(|&p| p == UNREACHED));
+    }
+
+    #[test]
+    fn costs_deterministic_across_parallelism() {
+        let g = gnm(1500, 6000, 9);
+        let run = |mut led: Ledger| {
+            let r = multi_bfs(&mut led, &g, &[0, 7, 42]);
+            (r.visited, led.costs())
+        };
+        let (v1, c1) = run(Ledger::new(8));
+        let (v2, c2) = run(Ledger::sequential(8));
+        assert_eq!(v1, v2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Write-efficient filter ("ordered filter" / pack of Ben-David et al.).
+//!
+//! The crucial property (used by the paper's §4.2 step 3 to compact
+//! cross-subset edges): the number of asymmetric-memory **writes** is
+//! proportional to the *output* size plus one write per block, not to the
+//! input size. Reads remain linear in the input. This is what makes
+//! `O(n + βm)` write bounds possible when only `βm` elements survive.
+
+use crate::scan::block_offsets;
+use wec_asym::Ledger;
+
+/// Default block size for the two-pass filter.
+pub const FILTER_BLOCK: usize = 1024;
+
+/// Keep the indices `i ∈ 0..n` satisfying `pred`, in increasing order.
+///
+/// `pred` is evaluated twice per index (count pass + emit pass) and must be
+/// deterministic; it charges its own evaluation cost to the ledger it is
+/// handed. On top of that this function charges one write per emitted index
+/// and one write per block (the block offsets).
+pub fn filter_indices(
+    led: &mut Ledger,
+    n: usize,
+    pred: &(impl Fn(usize, &mut Ledger) -> bool + Sync),
+) -> Vec<u32> {
+    filter_map_collect(led, n, &|i, l| pred(i, l).then_some(i as u32))
+}
+
+/// Write-efficient filter-map: collect `f(i)` for `i ∈ 0..n` where `f`
+/// returns `Some`, in index order. Charges: `f`'s own costs twice (count +
+/// emit pass), one write per emitted element, one write per block.
+pub fn filter_map_collect<T: Send + Copy>(
+    led: &mut Ledger,
+    n: usize,
+    f: &(impl Fn(usize, &mut Ledger) -> Option<T> + Sync),
+) -> Vec<T> {
+    let offsets = block_offsets(led, n, FILTER_BLOCK, &|lo, hi, l| {
+        let mut cnt = 0u64;
+        for i in lo..hi {
+            if f(i, l).is_some() {
+                cnt += 1;
+            }
+        }
+        cnt
+    });
+    let total = *offsets.last().unwrap() as usize;
+    let nb = offsets.len() - 1;
+    let offsets_ref = &offsets;
+    let parts: Vec<Vec<T>> = led.par_map(nb, 1, &|b, l| {
+        let lo = b * FILTER_BLOCK;
+        let hi = ((b + 1) * FILTER_BLOCK).min(n);
+        let expect = (offsets_ref[b + 1] - offsets_ref[b]) as usize;
+        let mut out = Vec::with_capacity(expect);
+        for i in lo..hi {
+            if let Some(v) = f(i, l) {
+                out.push(v);
+            }
+        }
+        l.write(out.len() as u64);
+        out
+    });
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_keeps_matching_indices_in_order() {
+        let mut led = Ledger::new(8);
+        let kept = filter_indices(&mut led, 10_000, &|i, l| {
+            l.read(1);
+            i % 7 == 0
+        });
+        assert_eq!(kept.len(), 10_000 / 7 + 1);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        assert!(kept.iter().all(|&i| i % 7 == 0));
+    }
+
+    #[test]
+    fn writes_scale_with_output_not_input() {
+        let n = 100_000;
+        let mut led = Ledger::new(8);
+        let kept = filter_indices(&mut led, n, &|i, l| {
+            l.read(1);
+            i % 1000 == 0
+        });
+        assert_eq!(kept.len(), 100);
+        let writes = led.costs().asym_writes;
+        let blocks = n.div_ceil(FILTER_BLOCK) as u64;
+        assert!(
+            writes <= 100 + blocks + 2,
+            "writes {writes} should be ~output+blocks ({blocks})"
+        );
+        assert_eq!(led.costs().asym_reads, 2 * n as u64); // two pred passes
+    }
+
+    #[test]
+    fn filter_map_transforms() {
+        let mut led = Ledger::new(8);
+        let vals = filter_map_collect(&mut led, 100, &|i, _| (i % 2 == 0).then_some(i * 10));
+        assert_eq!(vals.len(), 50);
+        assert_eq!(vals[3], 60);
+    }
+
+    #[test]
+    fn empty_input_and_empty_output() {
+        let mut led = Ledger::new(8);
+        assert!(filter_indices(&mut led, 0, &|_, _| true).is_empty());
+        assert!(filter_indices(&mut led, 500, &|_, _| false).is_empty());
+    }
+
+    #[test]
+    fn costs_deterministic_under_parallelism() {
+        let run = |mut led: Ledger| {
+            let kept = filter_indices(&mut led, 30_000, &|i, l| {
+                l.read(1);
+                (i * 2654435761) % 5 == 0
+            });
+            (kept, led.costs(), led.depth())
+        };
+        assert_eq!(run(Ledger::new(8)), run(Ledger::sequential(8)));
+    }
+}

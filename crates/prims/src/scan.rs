@@ -1,0 +1,175 @@
+//! Reduce and blocked prefix sums with model charging.
+
+use wec_asym::Ledger;
+
+/// Sum of a charged asymmetric-memory array: one read per element, O(1)
+/// writes, `O(log n)` depth via balanced fork-join.
+pub fn reduce_sum(led: &mut Ledger, data: &[u64]) -> u64 {
+    fn go(led: &mut Ledger, data: &[u64]) -> u64 {
+        if data.len() <= 1024 {
+            led.read(data.len() as u64);
+            return data.iter().sum();
+        }
+        let (a, b) = data.split_at(data.len() / 2);
+        led.op(1);
+        let (sa, sb) = led.fork_sized(data.len(), |l| go(l, a), |l| go(l, b));
+        sa + sb
+    }
+    go(led, data)
+}
+
+/// Exclusive prefix sums: returns `out` of length `n + 1` with
+/// `out[i] = Σ_{j<i} data[j]`. Blocked two-pass: per-block sums, a scan of
+/// the block sums, then per-block output writes. Charges `n` reads and
+/// `n + 1 + #blocks` writes (the output itself is written to asymmetric
+/// memory — callers that only need block offsets should use
+/// [`block_offsets`]).
+pub fn exclusive_scan(led: &mut Ledger, data: &[u64], block: usize) -> Vec<u64> {
+    let n = data.len();
+    let block = block.max(1);
+    let nb = n.div_ceil(block).max(1);
+    let sums = led.par_map(nb, 1, &|b, l| {
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        l.read((hi - lo) as u64);
+        data[lo..hi].iter().sum::<u64>()
+    });
+    // Scan of block sums (small, sequential in symmetric memory).
+    let mut offsets = Vec::with_capacity(nb + 1);
+    let mut acc = 0u64;
+    led.op(nb as u64);
+    for &s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    offsets.push(acc);
+    // Emit: each block rescans its input and writes its outputs.
+    let mut out = vec![0u64; n + 1];
+    out[n] = acc;
+    led.write(1);
+    let offsets_ref = &offsets;
+    let chunks: Vec<(usize, Vec<u64>)> = led.par_map(nb, 1, &|b, l| {
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        let mut cur = offsets_ref[b];
+        let mut vals = Vec::with_capacity(hi - lo);
+        l.read((hi - lo) as u64);
+        l.write((hi - lo) as u64);
+        for j in lo..hi {
+            vals.push(cur);
+            cur += data[j];
+        }
+        (lo, vals)
+    });
+    for (lo, vals) in chunks {
+        out[lo..lo + vals.len()].copy_from_slice(&vals);
+    }
+    out
+}
+
+/// Per-block exclusive offsets only (`#blocks + 1` entries): the
+/// write-efficient half of a scan, used by [`crate::filter`] so that total
+/// writes stay proportional to output size. Charges `n` reads and
+/// `#blocks + 1` writes.
+pub fn block_offsets(
+    led: &mut Ledger,
+    n: usize,
+    block: usize,
+    count_in_block: &(impl Fn(usize, usize, &mut Ledger) -> u64 + Sync),
+) -> Vec<u64> {
+    let block = block.max(1);
+    let nb = n.div_ceil(block).max(1);
+    let sums = led.par_map(nb, 1, &|b, l| {
+        let lo = b * block;
+        let hi = ((b + 1) * block).min(n);
+        count_in_block(lo, hi, l)
+    });
+    let mut offsets = Vec::with_capacity(nb + 1);
+    let mut acc = 0u64;
+    led.op(nb as u64);
+    led.write(nb as u64 + 1);
+    for &s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    offsets.push(acc);
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_iterator_sum() {
+        let data: Vec<u64> = (0..10_000).map(|i| i % 97).collect();
+        let mut led = Ledger::new(8);
+        assert_eq!(reduce_sum(&mut led, &data), data.iter().sum::<u64>());
+        assert_eq!(led.costs().asym_reads, 10_000);
+        assert_eq!(led.costs().asym_writes, 0);
+    }
+
+    #[test]
+    fn reduce_depth_is_shallow() {
+        let data = vec![1u64; 1 << 16];
+        let mut led = Ledger::sequential(8);
+        reduce_sum(&mut led, &data);
+        // leaf blocks of 1024 reads dominate; log-many levels above
+        assert!(led.depth() < 1024 + 64, "depth {}", led.depth());
+    }
+
+    #[test]
+    fn scan_matches_naive() {
+        let data: Vec<u64> = (0..1000).map(|i| (i * 7) % 13).collect();
+        let mut led = Ledger::new(8);
+        let out = exclusive_scan(&mut led, &data, 64);
+        let mut acc = 0;
+        for i in 0..=1000 {
+            assert_eq!(out[i], acc);
+            if i < 1000 {
+                acc += data[i];
+            }
+        }
+    }
+
+    #[test]
+    fn scan_cost_bounds() {
+        let data = vec![3u64; 4096];
+        let mut led = Ledger::new(8);
+        exclusive_scan(&mut led, &data, 256);
+        let c = led.costs();
+        assert_eq!(c.asym_reads, 2 * 4096); // count pass + emit pass
+        assert!(c.asym_writes >= 4096);
+        assert!(c.asym_writes <= 4096 + 4096 / 256 + 8);
+    }
+
+    #[test]
+    fn scan_empty_and_single() {
+        let mut led = Ledger::new(8);
+        assert_eq!(exclusive_scan(&mut led, &[], 4), vec![0]);
+        assert_eq!(exclusive_scan(&mut led, &[5], 4), vec![0, 5]);
+    }
+
+    #[test]
+    fn block_offsets_write_count_is_blocks_only() {
+        let mut led = Ledger::new(8);
+        let offs = block_offsets(&mut led, 1000, 100, &|lo, hi, l| {
+            l.read((hi - lo) as u64);
+            (hi - lo) as u64
+        });
+        assert_eq!(offs.len(), 11);
+        assert_eq!(offs[10], 1000);
+        assert_eq!(led.costs().asym_writes, 11);
+        assert_eq!(led.costs().asym_reads, 1000);
+    }
+
+    #[test]
+    fn parallel_and_sequential_costs_agree() {
+        let data: Vec<u64> = (0..5000).map(|i| i % 11).collect();
+        let run = |mut led: Ledger| {
+            exclusive_scan(&mut led, &data, 128);
+            (led.costs(), led.depth())
+        };
+        assert_eq!(run(Ledger::new(16)), run(Ledger::sequential(16)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Failure injection and degenerate inputs across the public API:
+//! ω = 1 (symmetric memory), k > n, empty/singleton graphs, raw edge lists
+//! with self-loops and duplicates, stars and long paths (worst-case trees).
+
+use wec::asym::Ledger;
+use wec::baseline::brute;
+use wec::biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
+use wec::connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
+use wec::core::BuildOpts;
+use wec::graph::{gen, Csr, Priorities, Vertex};
+
+fn verts(n: usize) -> Vec<Vertex> {
+    (0..n as u32).collect()
+}
+
+#[test]
+fn omega_one_degenerates_gracefully() {
+    // ω = 1 is the ordinary symmetric RAM: everything must still be correct
+    // (k = √1 = 1: every vertex its own cluster).
+    let g = gen::bounded_degree_connected(60, 4, 20, 1);
+    let pri = Priorities::random(60, 1);
+    let mut led = Ledger::new(1);
+    let k = led.sqrt_omega();
+    let oracle = ConnectivityOracle::build(
+        &mut led,
+        &g,
+        &pri,
+        &verts(60),
+        k,
+        1,
+        OracleBuildOpts::default(),
+    );
+    for u in 0..60u32 {
+        assert!(oracle.connected(&mut led, u, 0));
+    }
+    let bicc = build_biconnectivity_oracle(&mut led, &g, &pri, &verts(60), 1, 1, BuildOpts::default());
+    for v in 0..60u32 {
+        assert_eq!(bicc.is_articulation(&mut led, v), brute::articulation_points(&g)[v as usize]);
+    }
+}
+
+#[test]
+fn k_exceeding_n_is_fine() {
+    let g = gen::cycle(9);
+    let pri = Priorities::random(9, 4);
+    let mut led = Ledger::new(10_000);
+    let oracle = build_biconnectivity_oracle(
+        &mut led,
+        &g,
+        &pri,
+        &verts(9),
+        100,
+        3,
+        BuildOpts::default(),
+    );
+    for u in 0..9u32 {
+        for v in 0..9u32 {
+            assert!(oracle.biconnected(&mut led, u, v));
+            assert!(oracle.two_edge_connected(&mut led, u, v));
+        }
+    }
+    assert!(!oracle.is_articulation(&mut led, 4));
+}
+
+#[test]
+fn dirty_edge_lists_are_canonicalized() {
+    // duplicates, reversed duplicates, and self-loops
+    let g = Csr::from_edges(5, &[(0, 1), (1, 0), (0, 1), (2, 2), (1, 2), (3, 4), (4, 3)]);
+    assert_eq!(g.m(), 3);
+    let mut led = Ledger::new(16);
+    let r = connectivity_csr(&mut led, &g, 0.25, 1);
+    assert_eq!(r.num_components, 2);
+    let bc = bc_labeling(&mut led, &g, 0.25, 1);
+    assert!(bc.is_articulation(&mut led, 1));
+    assert_eq!(bc.num_bcc, 3);
+}
+
+#[test]
+fn empty_and_singleton_graphs_everywhere() {
+    for n in [0usize, 1, 2] {
+        let g = Csr::from_edges(n, &[]);
+        let mut led = Ledger::new(16);
+        let r = connectivity_csr(&mut led, &g, 0.5, 1);
+        assert_eq!(r.num_components, n);
+        let bc = bc_labeling(&mut led, &g, 0.5, 1);
+        assert_eq!(bc.num_bcc, 0);
+        if n > 0 {
+            let pri = Priorities::random(n, 1);
+            let oracle = build_biconnectivity_oracle(
+                &mut led,
+                &g,
+                &pri,
+                &verts(n),
+                4,
+                1,
+                BuildOpts::default(),
+            );
+            assert!(!oracle.is_articulation(&mut led, 0));
+            if n == 2 {
+                assert!(!oracle.connected(&mut led, 0, 1));
+                assert!(!oracle.biconnected(&mut led, 0, 1));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_edge_graph() {
+    let g = Csr::from_edges(2, &[(0, 1)]);
+    let pri = Priorities::random(2, 2);
+    let mut led = Ledger::new(16);
+    let oracle =
+        build_biconnectivity_oracle(&mut led, &g, &pri, &verts(2), 4, 1, BuildOpts::default());
+    assert!(oracle.connected(&mut led, 0, 1));
+    assert!(oracle.biconnected(&mut led, 0, 1)); // adjacent ⇒ share the bridge BCC
+    assert!(!oracle.two_edge_connected(&mut led, 0, 1));
+    assert!(oracle.is_bridge(&mut led, 0, 1));
+}
+
+#[test]
+fn long_path_worst_case_tree() {
+    // Long paths are the worst case for the splitter and the chain checks.
+    let n = 400usize;
+    let g = gen::path(n);
+    let pri = Priorities::random(n, 8);
+    for k in [2usize, 7, 16] {
+        let mut led = Ledger::new((k * k) as u64);
+        let oracle = build_biconnectivity_oracle(
+            &mut led,
+            &g,
+            &pri,
+            &verts(n),
+            k,
+            9,
+            BuildOpts::default(),
+        );
+        // every edge a bridge, every internal vertex an articulation point
+        assert!(oracle.is_bridge(&mut led, 100, 101));
+        assert!(oracle.is_articulation(&mut led, 200));
+        assert!(!oracle.is_articulation(&mut led, 0));
+        assert!(!oracle.biconnected(&mut led, 0, (n - 1) as u32));
+        assert!(!oracle.two_edge_connected(&mut led, 10, 11));
+        assert!(oracle.biconnected(&mut led, 10, 11)); // adjacent via bridge BCC
+    }
+}
+
+#[test]
+fn star_with_identity_priorities() {
+    // identity priorities stress tie-breaking determinism on a hub
+    let g = gen::star(50);
+    let pri = Priorities::identity(50);
+    let mut led = Ledger::new(16);
+    let oracle =
+        build_biconnectivity_oracle(&mut led, &g, &pri, &verts(50), 4, 1, BuildOpts::default());
+    assert!(oracle.is_articulation(&mut led, 0));
+    for leaf in 1..50u32 {
+        assert!(!oracle.is_articulation(&mut led, leaf));
+        assert!(oracle.is_bridge(&mut led, 0, leaf));
+    }
+    assert!(!oracle.biconnected(&mut led, 1, 2));
+}

@@ -1,0 +1,110 @@
+//! Property-based tests (proptest) over random graph structures: the
+//! decomposition invariants and both oracles against brute force, under
+//! arbitrary seeds, sizes, densities, and k.
+
+use proptest::prelude::*;
+use wec::asym::Ledger;
+use wec::baseline::{brute, unionfind};
+use wec::biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
+use wec::connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
+use wec::core::{BuildOpts, ImplicitDecomposition};
+use wec::graph::{Csr, Priorities, Vertex};
+
+/// Strategy: a random graph with n in [2, 28] and a random edge list
+/// (dedup'd by the builder), plus seeds.
+fn graph_strategy() -> impl Strategy<Value = (Csr, u64)> {
+    (2usize..28, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let max_m = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m.min(40))
+            .prop_map(move |edges| (Csr::from_edges(n, &edges), seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_is_a_valid_partition((g, seed) in graph_strategy(), k in 1usize..8) {
+        let n = g.n();
+        let pri = Priorities::random(n, seed);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(16);
+        let d = ImplicitDecomposition::build(
+            &mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
+        let mut count = 0usize;
+        let mut by_center: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+        for v in 0..n as u32 {
+            let a = d.rho(&mut led, v);
+            by_center.entry(a.center.vertex()).or_default().push(v);
+            count += 1;
+        }
+        prop_assert_eq!(count, n);
+        for (c, members) in by_center {
+            prop_assert!(members.len() <= k, "cluster {} size {}", c, members.len());
+            prop_assert!(wec::graph::props::induced_connected(&g, &members));
+        }
+    }
+
+    #[test]
+    fn section42_connectivity_matches_union_find((g, seed) in graph_strategy(), beta_inv in 1u64..32) {
+        let mut led = Ledger::new(16);
+        let r = connectivity_csr(&mut led, &g, 1.0 / beta_inv as f64, seed);
+        prop_assert!(unionfind::same_partition(&r.labels, &unionfind::uf_labels(&g)));
+    }
+
+    #[test]
+    fn connectivity_oracle_matches_brute((g, seed) in graph_strategy(), k in 2usize..6) {
+        let n = g.n();
+        let pri = Priorities::random(n, seed ^ 1);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new((k * k) as u64);
+        let oracle = ConnectivityOracle::build(
+            &mut led, &g, &pri, &verts, k, seed, OracleBuildOpts::default());
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(oracle.connected(&mut led, u, v), brute::connected(&g, u, v),
+                    "connected({},{})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn bc_labeling_matches_brute((g, seed) in graph_strategy()) {
+        let mut led = Ledger::new(16);
+        let bc = bc_labeling(&mut led, &g, 0.25, seed);
+        let artic = brute::articulation_points(&g);
+        let bridges = brute::bridges(&g);
+        for v in 0..g.n() as u32 {
+            prop_assert_eq!(bc.is_articulation(&mut led, v), artic[v as usize], "artic {}", v);
+        }
+        for e in 0..g.m() as u32 {
+            prop_assert_eq!(bc.is_bridge(&mut led, e, &g), bridges[e as usize], "bridge {}", e);
+        }
+    }
+
+    #[test]
+    fn biconnectivity_oracle_matches_brute((g, seed) in graph_strategy(), k in 2usize..6) {
+        let n = g.n();
+        let pri = Priorities::random(n, seed ^ 2);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new((k * k) as u64);
+        let oracle = build_biconnectivity_oracle(
+            &mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
+        for v in 0..n as u32 {
+            prop_assert_eq!(
+                oracle.is_articulation(&mut led, v),
+                brute::articulation_points(&g)[v as usize],
+                "articulation({})", v);
+        }
+        for u in (0..n as u32).step_by(2) {
+            for v in (1..n as u32).step_by(3) {
+                prop_assert_eq!(oracle.biconnected(&mut led, u, v), brute::same_bcc(&g, u, v),
+                    "biconnected({},{})", u, v);
+                prop_assert_eq!(
+                    oracle.two_edge_connected(&mut led, u, v),
+                    brute::two_edge_connected(&g, u, v),
+                    "2ec({},{})", u, v);
+            }
+        }
+    }
+}
