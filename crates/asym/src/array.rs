@@ -24,7 +24,9 @@ impl<T: Clone> AsymArray<T> {
     /// Allocate and initialize `n` elements, charging `n` writes.
     pub fn new(led: &mut Ledger, n: usize, init: T) -> Self {
         led.write(n as u64);
-        AsymArray { data: vec![init; n] }
+        AsymArray {
+            data: vec![init; n],
+        }
     }
 }
 
@@ -150,7 +152,10 @@ impl AsymAtomicBitmap {
 
     /// Number of set bits (uncharged; harness use).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 }
 

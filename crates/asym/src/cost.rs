@@ -25,7 +25,11 @@ pub struct Costs {
 
 impl Costs {
     /// A zeroed counter set.
-    pub const ZERO: Costs = Costs { asym_reads: 0, asym_writes: 0, sym_ops: 0 };
+    pub const ZERO: Costs = Costs {
+        asym_reads: 0,
+        asym_writes: 0,
+        sym_ops: 0,
+    };
 
     /// Total model cost (sequential time / contribution to parallel work)
     /// under write-cost multiplier `omega`:
@@ -81,38 +85,80 @@ mod tests {
 
     #[test]
     fn work_charges_omega_per_write() {
-        let c = Costs { asym_reads: 10, asym_writes: 3, sym_ops: 7 };
+        let c = Costs {
+            asym_reads: 10,
+            asym_writes: 3,
+            sym_ops: 7,
+        };
         assert_eq!(c.work(1), 20);
         assert_eq!(c.work(16), 10 + 7 + 48);
     }
 
     #[test]
     fn operations_excludes_writes() {
-        let c = Costs { asym_reads: 10, asym_writes: 3, sym_ops: 7 };
+        let c = Costs {
+            asym_reads: 10,
+            asym_writes: 3,
+            sym_ops: 7,
+        };
         assert_eq!(c.operations(), 17);
     }
 
     #[test]
     fn add_and_add_assign_agree() {
-        let a = Costs { asym_reads: 1, asym_writes: 2, sym_ops: 3 };
-        let b = Costs { asym_reads: 10, asym_writes: 20, sym_ops: 30 };
+        let a = Costs {
+            asym_reads: 1,
+            asym_writes: 2,
+            sym_ops: 3,
+        };
+        let b = Costs {
+            asym_reads: 10,
+            asym_writes: 20,
+            sym_ops: 30,
+        };
         let mut c = a;
         c += b;
         assert_eq!(c, a + b);
-        assert_eq!(c, Costs { asym_reads: 11, asym_writes: 22, sym_ops: 33 });
+        assert_eq!(
+            c,
+            Costs {
+                asym_reads: 11,
+                asym_writes: 22,
+                sym_ops: 33
+            }
+        );
     }
 
     #[test]
     fn since_is_saturating() {
-        let a = Costs { asym_reads: 5, asym_writes: 1, sym_ops: 0 };
-        let b = Costs { asym_reads: 8, asym_writes: 0, sym_ops: 4 };
+        let a = Costs {
+            asym_reads: 5,
+            asym_writes: 1,
+            sym_ops: 0,
+        };
+        let b = Costs {
+            asym_reads: 8,
+            asym_writes: 0,
+            sym_ops: 4,
+        };
         let d = b.since(&a);
-        assert_eq!(d, Costs { asym_reads: 3, asym_writes: 0, sym_ops: 4 });
+        assert_eq!(
+            d,
+            Costs {
+                asym_reads: 3,
+                asym_writes: 0,
+                sym_ops: 4
+            }
+        );
     }
 
     #[test]
     fn zero_is_identity() {
-        let a = Costs { asym_reads: 5, asym_writes: 1, sym_ops: 9 };
+        let a = Costs {
+            asym_reads: 5,
+            asym_writes: 1,
+            sym_ops: 9,
+        };
         assert_eq!(a + Costs::ZERO, a);
         assert_eq!(Costs::ZERO.work(100), 0);
     }

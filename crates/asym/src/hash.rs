@@ -118,6 +118,10 @@ mod tests {
             s.write_u64(i);
             seen.insert(s.finish() & 0xffff);
         }
-        assert!(seen.len() > 3500, "low bits too collision-prone: {}", seen.len());
+        assert!(
+            seen.len() > 3500,
+            "low bits too collision-prone: {}",
+            seen.len()
+        );
     }
 }

@@ -1,4 +1,5 @@
-//! Per-task cost accounting with fork-join composition.
+//! Per-task cost accounting with fork-join composition and split/merge
+//! parallel passes.
 //!
 //! A [`Ledger`] is the handle an algorithm threads through its control flow
 //! to charge model costs. Sequential charges accumulate into both *work*
@@ -7,6 +8,31 @@
 //! summed into the parent while the depth grows only by the larger child's
 //! depth. Above a grain threshold the two branches really run in parallel on
 //! the rayon pool — the accounted numbers do not change either way.
+//!
+//! # The split/merge ledger contract
+//!
+//! Hot passes do not thread one `&mut Ledger` through a sequential loop;
+//! they split the ledger N ways, hand each worker its own [`LedgerScope`]
+//! (plain counters, no parallelism decisions), and merge at the end:
+//!
+//! * **split** — [`Ledger::scope`] detaches a zeroed child scope (same `ω`,
+//!   symmetric-memory level inherited);
+//! * **merge** — [`Ledger::join_many`] absorbs children exactly like a
+//!   balanced tree of binary `Fork`s: every work counter **sums**, depth
+//!   grows by the **max** child depth, the symmetric-memory peak is the max
+//!   across children;
+//! * **determinism** — the merge is computed from the collected scopes in
+//!   *chunk index order*, never from execution order, so the accounted
+//!   `Costs`/depth are **bit-identical** whether the chunks ran on one
+//!   thread ([`Ledger::sequential`]) or many ([`Ledger::new`]);
+//! * **bookkeeping** — [`Ledger::scoped_par`] additionally charges the
+//!   scheduler's split tree: `chunks − 1` unit operations of work and
+//!   `⌈log₂ chunks⌉` units of depth, mirroring what [`Ledger::par_for`]
+//!   charges for its binary splits.
+//!
+//! Loops whose per-element charges are known in advance should not charge
+//! inside the loop at all: the [`Charge`] helpers (`charge_reads(n)`, ...)
+//! make the bulk charge explicit at the point where the count is known.
 
 use crate::cost::Costs;
 use crate::report::CostReport;
@@ -72,10 +98,13 @@ impl Ledger {
     }
 
     /// `k = ⌊√ω⌋`, the cluster-size parameter the paper uses for both
-    /// sublinear-write oracles (at least 1).
+    /// sublinear-write oracles (at least 1). Integer square root: the
+    /// previous `f64::sqrt().floor()` implementation can round `√(k²−1)` up
+    /// to `k` once ω exceeds 2⁵² (53-bit mantissa), silently inflating the
+    /// cluster parameter.
     #[inline]
     pub fn sqrt_omega(&self) -> usize {
-        ((self.omega as f64).sqrt().floor() as usize).max(1)
+        (self.omega.isqrt() as usize).max(1)
     }
 
     /// Charge `n` asymmetric-memory reads.
@@ -305,11 +334,7 @@ impl Ledger {
     /// must cost unit operations, not asymmetric writes. Reads the body
     /// performs against real asymmetric inputs must be charged *outside*
     /// this scope.
-    pub fn sym_compute<R>(
-        &mut self,
-        sym_words: u64,
-        body: impl FnOnce(&mut Ledger) -> R,
-    ) -> R {
+    pub fn sym_compute<R>(&mut self, sym_words: u64, body: impl FnOnce(&mut Ledger) -> R) -> R {
         self.sym_alloc(sym_words);
         let mut scratch = Ledger::sequential(1);
         let r = body(&mut scratch);
@@ -322,6 +347,263 @@ impl Ledger {
     /// Snapshot the counters into a serializable report.
     pub fn report(&self, label: impl Into<String>) -> CostReport {
         CostReport::from_ledger(label.into(), self)
+    }
+
+    /// Detach a zeroed per-worker [`LedgerScope`] (the **split** half of the
+    /// split/merge contract in the module docs). The scope carries the same
+    /// `ω` and inherits the live symmetric-memory level; its counters start
+    /// at zero so the eventual merge sees exactly what the worker charged.
+    pub fn scope(&self) -> LedgerScope {
+        LedgerScope {
+            inner: Ledger {
+                parallel: false,
+                ..self.child()
+            },
+        }
+    }
+
+    /// Merge child scopes (the **merge** half of the split/merge contract):
+    /// work counters sum in iteration order, depth grows by the maximum
+    /// child depth, and the symmetric-memory peak takes the max — the
+    /// N-way generalization of a balanced tree of binary [`Ledger::fork`]s.
+    /// No scheduler bookkeeping is charged here; [`Ledger::scoped_par`]
+    /// charges its own split tree.
+    pub fn join_many(&mut self, children: impl IntoIterator<Item = LedgerScope>) {
+        let mut max_depth = 0u64;
+        for child in children {
+            let c = child.inner;
+            self.costs += c.costs;
+            max_depth = max_depth.max(c.depth);
+            self.sym_peak = self.sym_peak.max(c.sym_peak);
+        }
+        self.depth += max_depth;
+    }
+
+    /// Split `0..n` into `⌈n/grain⌉` chunks, run `body` on each chunk with
+    /// its own [`LedgerScope`] — in parallel on the rayon pool when this
+    /// ledger is parallel and more than one chunk exists — and merge the
+    /// scopes deterministically. Returns the per-chunk results in chunk
+    /// order.
+    ///
+    /// Unlike [`Ledger::fork_sized`], the parallelism decision does not
+    /// depend on a work-size heuristic: the caller picked the grain, so
+    /// every chunk is worth a task. Accounting (see module docs): chunk
+    /// costs sum, depth takes `⌈log₂ chunks⌉ + max(chunk depth)`, plus
+    /// `chunks − 1` unit operations for the scheduler's split tree —
+    /// bit-identical between parallel and sequential execution.
+    pub fn scoped_par<T: Send>(
+        &mut self,
+        n: usize,
+        grain: usize,
+        body: &(impl Fn(std::ops::Range<usize>, &mut LedgerScope) -> T + Sync),
+    ) -> Vec<T> {
+        let grain = grain.max(1);
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = n.div_ceil(grain);
+        let mut slots: Vec<Option<(T, LedgerScope)>> = Vec::new();
+        slots.resize_with(chunks, || None);
+        let proto = self.scope();
+        run_chunks(self.parallel, &proto, &mut slots, 0, grain, n, body);
+        // Deterministic merge in chunk order, independent of execution
+        // interleaving: exactly join_many, plus the split-tree bookkeeping.
+        let mut out = Vec::with_capacity(chunks);
+        self.join_many(slots.into_iter().map(|slot| {
+            let (val, scope) = slot.expect("every chunk ran");
+            out.push(val);
+            scope
+        }));
+        let split_levels = usize::BITS - (chunks - 1).leading_zeros(); // ⌈log₂ chunks⌉
+        self.costs.sym_ops += chunks as u64 - 1;
+        self.depth += split_levels as u64;
+        out
+    }
+
+    /// Per-element convenience over [`Ledger::scoped_par`]: `map` runs once
+    /// per index, results are concatenated in index order. Same accounting.
+    pub fn scoped_par_map<T: Send>(
+        &mut self,
+        n: usize,
+        grain: usize,
+        map: &(impl Fn(usize, &mut LedgerScope) -> T + Sync),
+    ) -> Vec<T> {
+        let parts = self.scoped_par(n, grain, &|range, scope| {
+            let mut v = Vec::with_capacity(range.len());
+            for i in range {
+                v.push(map(i, scope));
+            }
+            v
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// Execute chunk `body`s over the slot array, recursively splitting with
+/// `rayon::join` when parallel. Only the *execution* is affected by
+/// `parallel`; all accounting is derived from the filled slots afterwards.
+fn run_chunks<T: Send>(
+    parallel: bool,
+    proto: &LedgerScope,
+    slots: &mut [Option<(T, LedgerScope)>],
+    first_chunk: usize,
+    grain: usize,
+    n: usize,
+    body: &(impl Fn(std::ops::Range<usize>, &mut LedgerScope) -> T + Sync),
+) {
+    match slots {
+        [] => {}
+        [slot] => {
+            let lo = first_chunk * grain;
+            let hi = ((first_chunk + 1) * grain).min(n);
+            let mut scope = proto.fresh();
+            let val = body(lo..hi, &mut scope);
+            *slot = Some((val, scope));
+        }
+        _ => {
+            let mid = slots.len() / 2;
+            let (left, right) = slots.split_at_mut(mid);
+            if parallel {
+                rayon::join(
+                    || run_chunks(parallel, proto, left, first_chunk, grain, n, body),
+                    || run_chunks(parallel, proto, right, first_chunk + mid, grain, n, body),
+                );
+            } else {
+                run_chunks(parallel, proto, left, first_chunk, grain, n, body);
+                run_chunks(parallel, proto, right, first_chunk + mid, grain, n, body);
+            }
+        }
+    }
+}
+
+/// A detached per-worker accounting scope: plain counters with no
+/// parallelism decisions, cheap enough for any rayon worker to own. Created
+/// by [`Ledger::scope`] / handed out by [`Ledger::scoped_par`]; absorbed by
+/// [`Ledger::join_many`].
+///
+/// A scope exposes the same charge surface as a ledger ([`Charge`] plus
+/// [`LedgerScope::ledger`] for code written against `&mut Ledger`), but its
+/// internal ledger is always sequential: forks inside a worker run inline
+/// and only ever touch the worker's own counters.
+#[derive(Debug)]
+pub struct LedgerScope {
+    inner: Ledger,
+}
+
+impl LedgerScope {
+    /// A zeroed clone of this scope's shape (same ω, same inherited
+    /// symmetric-memory level).
+    fn fresh(&self) -> LedgerScope {
+        self.inner.scope()
+    }
+
+    /// The scope as a full (sequential) [`Ledger`], for the deep query
+    /// machinery whose signatures take `&mut Ledger`.
+    #[inline]
+    pub fn ledger(&mut self) -> &mut Ledger {
+        &mut self.inner
+    }
+
+    /// The write-cost multiplier `ω`.
+    #[inline]
+    pub fn omega(&self) -> u64 {
+        self.inner.omega
+    }
+
+    /// Charge `n` asymmetric-memory reads.
+    #[inline]
+    pub fn read(&mut self, n: u64) {
+        self.inner.read(n);
+    }
+
+    /// Charge `n` asymmetric-memory writes (each costs `ω`).
+    #[inline]
+    pub fn write(&mut self, n: u64) {
+        self.inner.write(n);
+    }
+
+    /// Charge `n` unit-cost operations.
+    #[inline]
+    pub fn op(&mut self, n: u64) {
+        self.inner.op(n);
+    }
+
+    /// Counters charged to this scope so far.
+    #[inline]
+    pub fn costs(&self) -> Costs {
+        self.inner.costs()
+    }
+
+    /// Critical-path cost charged to this scope so far.
+    #[inline]
+    pub fn depth(&self) -> u64 {
+        self.inner.depth()
+    }
+}
+
+/// Batched charge surface shared by [`Ledger`] and [`LedgerScope`].
+///
+/// These are the bulk equivalents of per-element `op(1)`-style calls: when
+/// a loop's charge count is known up front (`n` reads of a scanned array,
+/// `len` writes of a packed output), charge it in one call at the point
+/// where the count is known instead of once per iteration.
+pub trait Charge {
+    /// Write-cost multiplier in force.
+    fn omega_w(&self) -> u64;
+    /// Charge `n` asymmetric-memory reads.
+    fn charge_reads(&mut self, n: u64);
+    /// Charge `n` asymmetric-memory writes.
+    fn charge_writes(&mut self, n: u64);
+    /// Charge `n` unit-cost operations.
+    fn charge_ops(&mut self, n: u64);
+
+    /// Charge a whole pre-tallied [`Costs`] delta.
+    fn charge(&mut self, c: Costs) {
+        self.charge_reads(c.asym_reads);
+        self.charge_writes(c.asym_writes);
+        self.charge_ops(c.sym_ops);
+    }
+}
+
+impl Charge for Ledger {
+    #[inline]
+    fn omega_w(&self) -> u64 {
+        self.omega()
+    }
+    #[inline]
+    fn charge_reads(&mut self, n: u64) {
+        self.read(n);
+    }
+    #[inline]
+    fn charge_writes(&mut self, n: u64) {
+        self.write(n);
+    }
+    #[inline]
+    fn charge_ops(&mut self, n: u64) {
+        self.op(n);
+    }
+}
+
+impl Charge for LedgerScope {
+    #[inline]
+    fn omega_w(&self) -> u64 {
+        self.omega()
+    }
+    #[inline]
+    fn charge_reads(&mut self, n: u64) {
+        self.read(n);
+    }
+    #[inline]
+    fn charge_writes(&mut self, n: u64) {
+        self.write(n);
+    }
+    #[inline]
+    fn charge_ops(&mut self, n: u64) {
+        self.op(n);
     }
 }
 
@@ -455,6 +737,181 @@ mod tests {
         assert_eq!(Ledger::new(16).sqrt_omega(), 4);
         assert_eq!(Ledger::new(17).sqrt_omega(), 4);
         assert_eq!(Ledger::new(100).sqrt_omega(), 10);
+    }
+
+    #[test]
+    fn sqrt_omega_exact_at_boundaries() {
+        // k² and k² − 1 must land on k and k − 1 for every magnitude,
+        // including values where f64's 53-bit mantissa rounds k² − 1 up to
+        // k² (the bug the integer square root fixes).
+        for k in [
+            2u64,
+            3,
+            1 << 16,
+            (1 << 26) + 1,
+            (1 << 31) - 1,
+            1 << 31,
+            u32::MAX as u64,
+        ] {
+            let sq = k * k;
+            assert_eq!(Ledger::new(sq).sqrt_omega() as u64, k, "√{sq}");
+            assert_eq!(Ledger::new(sq - 1).sqrt_omega() as u64, k - 1, "√({sq}−1)");
+            assert_eq!(Ledger::new(sq + 1).sqrt_omega() as u64, k, "√({sq}+1)");
+        }
+        // Largest representable ω: ⌊√(2⁶⁴−1)⌋ = 2³² − 1.
+        assert_eq!(Ledger::new(u64::MAX).sqrt_omega() as u64, u32::MAX as u64);
+        // Direct regression for the f64 misround: (2³²−1)² − 1 rounds to
+        // (2³²−1)² in f64, so the old code answered 2³²−1 instead of 2³²−2.
+        let k = (1u64 << 32) - 1;
+        let bad = k * k - 1;
+        assert_eq!(
+            (bad as f64).sqrt().floor() as u64,
+            k,
+            "f64 sqrt misrounds here"
+        );
+        assert_eq!(Ledger::new(bad).sqrt_omega() as u64, k - 1);
+    }
+
+    #[test]
+    fn scope_join_many_sums_work_and_maxes_depth() {
+        let mut l = Ledger::new(4);
+        l.op(1); // pre-existing depth 1
+        let mut a = l.scope();
+        let mut b = l.scope();
+        let mut c = l.scope();
+        a.read(5); // depth 5
+        b.write(2); // depth 8
+        c.op(3); // depth 3
+        l.join_many([a, b, c]);
+        assert_eq!(
+            l.costs(),
+            Costs {
+                asym_reads: 5,
+                asym_writes: 2,
+                sym_ops: 4
+            }
+        );
+        assert_eq!(l.depth(), 1 + 8, "depth adds only the max child");
+    }
+
+    #[test]
+    fn join_many_matches_balanced_binary_forks() {
+        // join_many over 4 children ≡ a balanced tree of binary forks.
+        let forked = {
+            let mut l = Ledger::sequential(8);
+            l.fork(
+                |x| {
+                    x.fork(|p| p.read(10), |q| q.write(1));
+                },
+                |y| {
+                    y.fork(|p| p.op(7), |q| q.read(2));
+                },
+            );
+            (l.costs(), l.depth())
+        };
+        let joined = {
+            let mut l = Ledger::sequential(8);
+            let mut scopes: Vec<LedgerScope> = (0..4).map(|_| l.scope()).collect();
+            scopes[0].read(10);
+            scopes[1].write(1);
+            scopes[2].op(7);
+            scopes[3].read(2);
+            l.join_many(scopes);
+            (l.costs(), l.depth())
+        };
+        assert_eq!(forked, joined);
+    }
+
+    #[test]
+    fn scoped_par_results_in_chunk_order() {
+        let mut l = Ledger::new(2);
+        let ranges = l.scoped_par(10, 3, &|r, _| (r.start, r.end));
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        let vals = l.scoped_par_map(100, 7, &|i, _| i * 2);
+        assert!(vals.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn scoped_par_accounting_matches_contract() {
+        let mut l = Ledger::sequential(4);
+        // 4 chunks of 8: each charges 8 reads and 1 write.
+        l.scoped_par(32, 8, &|r, s| {
+            s.read(r.len() as u64);
+            s.write(1);
+        });
+        let c = l.costs();
+        assert_eq!(c.asym_reads, 32);
+        assert_eq!(c.asym_writes, 4);
+        assert_eq!(c.sym_ops, 3, "chunks − 1 split ops");
+        // depth = ⌈log₂ 4⌉ + max chunk depth (8 reads + ω·1 write)
+        assert_eq!(l.depth(), 2 + 8 + 4);
+    }
+
+    #[test]
+    fn scoped_par_bit_identical_across_parallelism() {
+        let run = |mut l: Ledger| {
+            let out = l.scoped_par(10_000, 64, &|r, s| {
+                let mut acc = 0u64;
+                for i in r {
+                    s.read(1);
+                    if i % 5 == 0 {
+                        s.write(1);
+                    }
+                    acc += i as u64;
+                }
+                acc
+            });
+            (out, l.costs(), l.depth(), l.sym_peak())
+        };
+        assert_eq!(run(Ledger::new(16)), run(Ledger::sequential(16)));
+    }
+
+    #[test]
+    fn scoped_par_empty_input_charges_nothing() {
+        let mut l = Ledger::new(8);
+        let out: Vec<()> = l.scoped_par(0, 16, &|_, s| s.write(99));
+        assert!(out.is_empty());
+        assert_eq!(l.costs(), Costs::ZERO);
+        assert_eq!(l.depth(), 0);
+    }
+
+    #[test]
+    fn scopes_inherit_live_symmetric_memory() {
+        let mut l = Ledger::new(2);
+        l.sym_alloc(8);
+        let mut s = l.scope();
+        s.ledger().sym_scope(100, |_| ());
+        l.join_many([s]);
+        assert_eq!(l.sym_peak(), 108);
+        assert_eq!(l.sym_live(), 8);
+    }
+
+    #[test]
+    fn charge_helpers_equal_direct_calls() {
+        fn charged<C: Charge>(c: &mut C) {
+            c.charge_reads(3);
+            c.charge_writes(2);
+            c.charge_ops(5);
+            c.charge(Costs {
+                asym_reads: 1,
+                asym_writes: 0,
+                sym_ops: 1,
+            });
+        }
+        let mut l = Ledger::new(8);
+        charged(&mut l);
+        let mut direct = Ledger::new(8);
+        direct.read(3);
+        direct.write(2);
+        direct.op(5);
+        direct.read(1);
+        direct.op(1);
+        assert_eq!(l.costs(), direct.costs());
+        assert_eq!(l.depth(), direct.depth());
+        let mut s = Ledger::new(8).scope();
+        charged(&mut s);
+        assert_eq!(s.costs(), l.costs());
+        assert_eq!(s.depth(), l.depth());
     }
 
     #[test]

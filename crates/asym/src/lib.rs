@@ -25,6 +25,11 @@
 //! * [`Costs`], [`CostReport`] — raw counters and serializable summaries.
 //! * [`Ledger`] — per-task accounting: sequential charges, fork-join
 //!   composition, symmetric-memory high-water tracking.
+//! * [`LedgerScope`], [`Ledger::scoped_par`], [`Ledger::join_many`],
+//!   [`Charge`] — the split/merge architecture hot passes use: per-worker
+//!   counter scopes merged deterministically (work sums, depth maxes) so
+//!   parallel and sequential execution produce bit-identical costs. The
+//!   full contract is documented in the [`ledger`] module.
 //! * [`AsymArray`], [`AsymAtomicBitmap`] — asymmetric-memory containers that
 //!   charge the ledger on access.
 //! * [`FxHashMap`]/[`FxHashSet`] — a local implementation of the FxHash
@@ -40,7 +45,7 @@ pub mod report;
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ledger::Ledger;
+pub use ledger::{Charge, Ledger, LedgerScope};
 pub use report::CostReport;
 
 /// Default write-cost multiplier used by examples and tests when nothing

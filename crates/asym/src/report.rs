@@ -1,12 +1,16 @@
 //! Serializable cost summaries for the benchmark harness.
+//!
+//! The harness emits machine-readable JSON (e.g. `BENCH_PR1.json`) without
+//! an external serialization dependency: [`CostReport::to_json`] renders the
+//! flat report shape directly, and [`json::Obj`] is the tiny builder the
+//! bench binaries use for their own envelopes.
 
 use crate::cost::Costs;
 use crate::ledger::Ledger;
-use serde::{Deserialize, Serialize};
 
 /// A labeled snapshot of everything a [`Ledger`] measured. The bench harness
 /// serializes these (JSON) and renders the paper's tables from them.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostReport {
     /// Free-form label ("connectivity-oracle/build", ...).
     pub label: String,
@@ -61,6 +65,21 @@ impl CostReport {
         }
     }
 
+    /// Render as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("label", &self.label)
+            .num("omega", self.omega)
+            .num("asym_reads", self.asym_reads)
+            .num("asym_writes", self.asym_writes)
+            .num("sym_ops", self.sym_ops)
+            .num("operations", self.operations)
+            .num("work", self.work)
+            .num("depth", self.depth)
+            .num("sym_peak_words", self.sym_peak_words)
+            .finish()
+    }
+
     /// One-line human-readable rendering used by the harness binaries.
     pub fn render(&self) -> String {
         format!(
@@ -74,6 +93,93 @@ impl CostReport {
             self.depth,
             self.sym_peak_words
         )
+    }
+}
+
+/// Dependency-free JSON emission for the flat shapes the harness writes.
+pub mod json {
+    /// Escape a string for inclusion in a JSON document.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Incremental JSON object builder.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        body: String,
+    }
+
+    impl Obj {
+        /// An empty object.
+        pub fn new() -> Self {
+            Obj::default()
+        }
+
+        fn key(&mut self, k: &str) {
+            if !self.body.is_empty() {
+                self.body.push(',');
+            }
+            self.body.push('"');
+            self.body.push_str(&escape(k));
+            self.body.push_str("\":");
+        }
+
+        /// Add a string field.
+        pub fn str(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.body.push('"');
+            self.body.push_str(&escape(v));
+            self.body.push('"');
+            self
+        }
+
+        /// Add an unsigned integer field.
+        pub fn num(mut self, k: &str, v: u64) -> Self {
+            self.key(k);
+            self.body.push_str(&v.to_string());
+            self
+        }
+
+        /// Add a float field (finite values only; non-finite renders null).
+        pub fn float(mut self, k: &str, v: f64) -> Self {
+            self.key(k);
+            if v.is_finite() {
+                self.body.push_str(&format!("{v:.6}"));
+            } else {
+                self.body.push_str("null");
+            }
+            self
+        }
+
+        /// Add a raw pre-rendered JSON value (object, array, ...).
+        pub fn raw(mut self, k: &str, v: &str) -> Self {
+            self.key(k);
+            self.body.push_str(v);
+            self
+        }
+
+        /// Close the object.
+        pub fn finish(self) -> String {
+            format!("{{{}}}", self.body)
+        }
+    }
+
+    /// Render a sequence of pre-rendered JSON values as an array.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        let body: Vec<String> = items.into_iter().collect();
+        format!("[{}]", body.join(","))
     }
 }
 
@@ -99,13 +205,38 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn json_has_every_field_and_escapes_labels() {
         let mut led = Ledger::new(4);
         led.write(5);
-        let r = led.report("x");
-        let s = serde_json::to_string(&r).unwrap();
-        let back: CostReport = serde_json::from_str(&s).unwrap();
-        assert_eq!(back, r);
+        let mut r = led.report("x\"y\\z");
+        r.label = "x\"y\\z".into();
+        let s = r.to_json();
+        for field in [
+            "\"label\":\"x\\\"y\\\\z\"",
+            "\"omega\":4",
+            "\"asym_writes\":5",
+            "\"work\":20",
+            "\"depth\":20",
+            "\"sym_peak_words\":0",
+        ] {
+            assert!(s.contains(field), "{s} missing {field}");
+        }
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn json_builder_composes_nested_values() {
+        let inner = json::Obj::new().num("a", 1).finish();
+        let outer = json::Obj::new()
+            .str("name", "t")
+            .float("ratio", 0.5)
+            .raw("inner", &inner)
+            .raw("list", &json::array(vec!["1".into(), "2".into()]))
+            .finish();
+        assert_eq!(
+            outer,
+            "{\"name\":\"t\",\"ratio\":0.500000,\"inner\":{\"a\":1},\"list\":[1,2]}"
+        );
     }
 
     #[test]
@@ -113,7 +244,11 @@ mod tests {
         let r = CostReport::from_costs(
             "lbl".into(),
             8,
-            Costs { asym_reads: 1, asym_writes: 2, sym_ops: 3 },
+            Costs {
+                asym_reads: 1,
+                asym_writes: 2,
+                sym_ops: 3,
+            },
         );
         let s = r.render();
         assert!(s.contains("lbl"));

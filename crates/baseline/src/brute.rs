@@ -33,7 +33,13 @@ fn components_without_vertex(g: &Csr, skip: Option<Vertex>) -> (Vec<u32>, usize)
 
 /// Whether `u` and `v` are connected, optionally with a vertex or an edge
 /// removed.
-fn connected_avoiding(g: &Csr, u: Vertex, v: Vertex, skip_v: Option<Vertex>, skip_e: Option<(Vertex, Vertex)>) -> bool {
+fn connected_avoiding(
+    g: &Csr,
+    u: Vertex,
+    v: Vertex,
+    skip_v: Option<Vertex>,
+    skip_e: Option<(Vertex, Vertex)>,
+) -> bool {
     if Some(u) == skip_v || Some(v) == skip_v {
         return false;
     }
@@ -41,9 +47,8 @@ fn connected_avoiding(g: &Csr, u: Vertex, v: Vertex, skip_v: Option<Vertex>, ski
     let mut seen = vec![false; n];
     let mut stack = vec![u];
     seen[u as usize] = true;
-    let banned = |a: Vertex, b: Vertex| {
-        skip_e.is_some_and(|(x, y)| (a, b) == (x, y) || (a, b) == (y, x))
-    };
+    let banned =
+        |a: Vertex, b: Vertex| skip_e.is_some_and(|(x, y)| (a, b) == (x, y) || (a, b) == (y, x));
     while let Some(x) = stack.pop() {
         if x == v {
             return true;
@@ -89,7 +94,9 @@ pub fn two_edge_connected(g: &Csr, u: Vertex, v: Vertex) -> bool {
     if !connected(g, u, v) {
         return false;
     }
-    g.edges().iter().all(|&(a, b)| connected_avoiding(g, u, v, None, Some((a, b))))
+    g.edges()
+        .iter()
+        .all(|&(a, b)| connected_avoiding(g, u, v, None, Some((a, b))))
 }
 
 /// All articulation points, by deleting each vertex and counting

@@ -147,7 +147,12 @@ pub fn hopcroft_tarjan(led: &mut Ledger, g: &Csr) -> HtResult {
     }
     debug_assert!(edge_stack.is_empty());
     debug_assert!(edge_bcc.iter().all(|&b| b != UNSET));
-    HtResult { articulation, bridge, edge_bcc, num_bcc: num_bcc as usize }
+    HtResult {
+        articulation,
+        bridge,
+        edge_bcc,
+        num_bcc: num_bcc as usize,
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +205,11 @@ mod tests {
         assert_eq!(r.articulation, vec![false, false, true, true, false, false]);
         // triangle edges share labels within, differ across
         let l = |a: u32, b: u32| {
-            r.edge_bcc[g.edges().iter().position(|&e| e == (a.min(b), a.max(b))).unwrap()]
+            r.edge_bcc[g
+                .edges()
+                .iter()
+                .position(|&e| e == (a.min(b), a.max(b)))
+                .unwrap()]
         };
         assert_eq!(l(0, 1), l(1, 2));
         assert_eq!(l(0, 1), l(0, 2));

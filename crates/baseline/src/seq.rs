@@ -100,8 +100,9 @@ mod tests {
         let g = disjoint_union(&[&grid(4, 4), &path(5)]);
         let mut led = Ledger::new(8);
         let parent = seq_spanning_forest(&mut led, &g);
-        let roots: Vec<_> =
-            (0..g.n() as u32).filter(|&v| parent[v as usize] == v).collect();
+        let roots: Vec<_> = (0..g.n() as u32)
+            .filter(|&v| parent[v as usize] == v)
+            .collect();
         assert_eq!(roots.len(), 2);
         // every non-root's parent edge exists and walking up terminates
         for v in 0..g.n() as u32 {

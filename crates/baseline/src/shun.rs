@@ -62,11 +62,20 @@ fn recurse(
         return labels;
     }
     let sub_vertices: Vec<Vertex> = (0..parts as u32).collect();
-    let sub = recurse(led, parts, &next_edges, &sub_vertices, seed.wrapping_add(1), level + 1);
+    let sub = recurse(
+        led,
+        parts,
+        &next_edges,
+        &sub_vertices,
+        seed.wrapping_add(1),
+        level + 1,
+    );
     // Project labels back through the partition map.
     led.read(n as u64);
     led.write(n as u64);
-    (0..n as u32).map(|v| sub[ldd.part[v as usize] as usize]).collect()
+    (0..n as u32)
+        .map(|v| sub[ldd.part[v as usize] as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,7 +105,11 @@ mod tests {
         let mut led = Ledger::new(16);
         let _ = shun_connectivity(&mut led, &g, 3);
         let w = led.costs().asym_writes;
-        assert!(w >= g.m() as u64, "contraction baseline writes {w} ≥ m = {}", g.m());
+        assert!(
+            w >= g.m() as u64,
+            "contraction baseline writes {w} ≥ m = {}",
+            g.m()
+        );
         // sanity: the sequential baseline beats it by ~m/n in writes
         let mut led2 = Ledger::new(16);
         let _ = seq_connectivity(&mut led2, &g);

@@ -18,7 +18,10 @@ fn main() {
     let verts: Vec<Vertex> = (0..n as u32).collect();
 
     println!("=== ablation 1: sequential vs parallel Algorithm 1 (k = 8) ===");
-    println!("{:>10} {:>10} {:>12} {:>12} {:>14}", "variant", "centers", "secondaries", "writes", "ops");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14}",
+        "variant", "centers", "secondaries", "writes", "ops"
+    );
     for parallel in [false, true] {
         let mut led = Ledger::new(64);
         let d = ImplicitDecomposition::build(
@@ -28,7 +31,10 @@ fn main() {
             &verts,
             8,
             3,
-            BuildOpts { parallel, ..Default::default() },
+            BuildOpts {
+                parallel,
+                ..Default::default()
+            },
         );
         println!(
             "{:>10} {:>10} {:>12} {:>12} {:>14}",
@@ -41,18 +47,14 @@ fn main() {
     }
 
     println!("\n=== ablation 2: k — construction writes vs query cost (§4.3 oracle) ===");
-    println!("{:>4} {:>12} {:>14} {:>12}", "k", "build writes", "build ops", "ops/query");
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "k", "build writes", "build ops", "ops/query"
+    );
     for k in [2usize, 4, 8, 16, 32] {
         let mut led = Ledger::new((k * k) as u64);
-        let oracle = ConnectivityOracle::build(
-            &mut led,
-            &g,
-            &pri,
-            &verts,
-            k,
-            2,
-            OracleBuildOpts::default(),
-        );
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 2, OracleBuildOpts::default());
         let build = led.costs();
         let before = led.costs();
         let q = 2000u64;
@@ -60,7 +62,12 @@ fn main() {
             let _ = oracle.component(&mut led, ((i * 2654435761) % n as u64) as u32);
         }
         let per = led.costs().since(&before).operations() / q;
-        println!("{k:>4} {:>12} {:>14} {:>12}", build.asym_writes, build.operations(), per);
+        println!(
+            "{k:>4} {:>12} {:>14} {:>12}",
+            build.asym_writes,
+            build.operations(),
+            per
+        );
     }
     println!("\nexpected shape: writes fall ~1/k while query ops rise ~k — the paper's read/write tradeoff dial.");
 }

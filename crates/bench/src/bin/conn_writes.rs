@@ -1,30 +1,144 @@
-//! **Theorem 4.2** — §4.2 connectivity writes O(n + βm) as β sweeps, and
-//! the crossover against the prior-work contraction algorithm.
+//! **Theorem 4.2** — §4.2 connectivity writes O(n + βm) as β sweeps, the
+//! crossover against the prior-work contraction algorithm, and the PR-1
+//! wall-clock snapshot.
+//!
+//! Besides the model-cost table, this binary wall-clocks the oracle build
+//! phases under [`Ledger::new`] (rayon pool) vs [`Ledger::sequential`] and
+//! the oracle's query throughput, then writes the machine-readable
+//! `BENCH_PR1.json` (override the path with `WEC_BENCH_OUT`) so later PRs
+//! have a perf trajectory to beat. Pass `--smoke` for the CI-sized run.
 
 use wec_asym::Ledger;
 use wec_baseline::shun_connectivity;
-use wec_connectivity::connectivity_csr;
-use wec_graph::gen;
+use wec_bench::{time, time_median, BenchSnapshot, PhaseTiming};
+use wec_connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
+use wec_core::{BuildOpts, ImplicitDecomposition};
+use wec_graph::{gen, Priorities, Vertex};
 
-fn main() {
-    let n = 5000usize;
+const OMEGA: u64 = 64;
+
+fn theorem42_table(n: usize) {
     println!("=== Theorem 4.2: §4.2 connectivity writes = O(n + βm) ===");
     for m_per_n in [4usize, 16, 64] {
         let g = gen::gnm(n, n * m_per_n, 1);
         let m = g.m();
-        let mut led0 = Ledger::new(64);
+        let mut led0 = Ledger::new(OMEGA);
         let _ = shun_connectivity(&mut led0, &g, 1);
-        println!("\nn = {n}, m = {m}; prior-work (contracting) writes = {}", led0.costs().asym_writes);
-        println!("{:>10} {:>12} {:>14} {:>16}", "β", "writes", "n + βm", "writes/(n+βm)");
+        println!(
+            "\nn = {n}, m = {m}; prior-work (contracting) writes = {}",
+            led0.costs().asym_writes
+        );
+        println!(
+            "{:>10} {:>12} {:>14} {:>16}",
+            "β", "writes", "n + βm", "writes/(n+βm)"
+        );
         for beta_inv in [2u64, 8, 32, 128, 512] {
             let beta = 1.0 / beta_inv as f64;
-            let mut led = Ledger::new(64);
+            let mut led = Ledger::new(OMEGA);
             let _ = connectivity_csr(&mut led, &g, beta, 3);
             let w = led.costs().asym_writes;
             let model = n as f64 + beta * m as f64;
-            println!("{:>10.5} {:>12} {:>14.0} {:>16.2}", beta, w, model, w as f64 / model);
+            println!(
+                "{:>10.5} {:>12} {:>14.0} {:>16.2}",
+                beta,
+                w,
+                model,
+                w as f64 / model
+            );
         }
     }
     println!("\nexpected shape: as m grows 16x, our writes stay ~c·n + βm (c ≈ 8 array constants)");
     println!("while the contracting prior work scales linearly with m.");
+}
+
+fn phase(label: &str, iters: usize, mut body: impl FnMut(Ledger)) -> PhaseTiming {
+    let seconds_seq = time_median(iters, || body(Ledger::sequential(OMEGA)));
+    let seconds_par = time_median(iters, || body(Ledger::new(OMEGA)));
+    let t = PhaseTiming {
+        label: label.to_string(),
+        seconds_seq,
+        seconds_par,
+    };
+    println!(
+        "{label:<28} seq {:>9.2}ms   par {:>9.2}ms   speedup {:.2}x",
+        1e3 * t.seconds_seq,
+        1e3 * t.seconds_par,
+        t.speedup()
+    );
+    t
+}
+
+fn wallclock_snapshot(n: usize, iters: usize) {
+    println!(
+        "\n=== PR-1 wall-clock snapshot (threads = {}) ===",
+        rayon::current_num_threads()
+    );
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 42);
+    let pri = Priorities::random(n, 42);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let k = 8usize;
+    let build_opts = BuildOpts {
+        parallel: true,
+        ..Default::default()
+    };
+    let oracle_opts = OracleBuildOpts {
+        decomp: build_opts,
+        ..Default::default()
+    };
+
+    let phases = vec![
+        phase("decomp/build", iters, |mut led| {
+            ImplicitDecomposition::build(&mut led, &g, &pri, &verts, k, 1, build_opts);
+        }),
+        phase("conn-oracle/build", iters, |mut led| {
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, oracle_opts);
+        }),
+        phase("connectivity/sec4.2", iters, |mut led| {
+            connectivity_csr(&mut led, &g, 1.0 / OMEGA as f64, 1);
+        }),
+    ];
+
+    // Query throughput + the model costs of the (parallel-ledger) build.
+    let mut led = Ledger::new(OMEGA);
+    let oracle = ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, oracle_opts);
+    let build_costs = led.report("conn-oracle/build");
+    let queries = 200_000.min(50 * n);
+    let (q_secs, hits) = time(|| {
+        let mut ql = Ledger::new(OMEGA);
+        let mut acc = 0usize;
+        let mut i = 1u32;
+        for _ in 0..queries {
+            i = i.wrapping_mul(2654435761).wrapping_add(1) % n as u32;
+            acc += usize::from(oracle.connected(&mut ql, i, (i + 17) % n as u32));
+        }
+        acc
+    });
+    let throughput = queries as f64 / q_secs;
+    println!("query throughput: {throughput:.0}/s over {queries} queries ({hits} connected pairs)");
+
+    let snap = BenchSnapshot {
+        pr: 1,
+        threads: rayon::current_num_threads() as u64,
+        omega: OMEGA,
+        n: n as u64,
+        m: g.m() as u64,
+        phases,
+        query_throughput_per_sec: throughput,
+        build_costs,
+    };
+    match snap.write("BENCH_PR1.json") {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_PR1.json: {e}"),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (table_n, wall_n, iters) = if smoke {
+        (1000, 4000, 1)
+    } else {
+        (5000, 60_000, 3)
+    };
+    theorem42_table(table_n);
+    wallclock_snapshot(wall_n, iters);
 }

@@ -18,7 +18,8 @@ fn main() {
     );
     for k in [2usize, 4, 8, 16, 32, 64] {
         let mut led = Ledger::new(16);
-        let d = ImplicitDecomposition::build(&mut led, &g, &pri, &verts, k, 9, BuildOpts::default());
+        let d =
+            ImplicitDecomposition::build(&mut led, &g, &pri, &verts, k, 9, BuildOpts::default());
         let build = led.costs();
         // ρ cost: average over a vertex sample
         let before = led.costs();

@@ -45,12 +45,20 @@ fn main() {
             };
             let cl = d.cluster(&mut led, c);
             let members: Vec<&str> = cl.members.iter().map(|&v| NAMES[v as usize]).collect();
-            println!("  {} ({label:9}): cluster {{{}}}", NAMES[c as usize], members.join(", "));
+            println!(
+                "  {} ({label:9}): cluster {{{}}}",
+                NAMES[c as usize],
+                members.join(", ")
+            );
         }
         print!("  ρ: ");
         for v in 0..12u32 {
             let a = d.rho(&mut led, v);
-            print!("{}→{} ", NAMES[v as usize], NAMES[a.center.vertex() as usize]);
+            print!(
+                "{}→{} ",
+                NAMES[v as usize],
+                NAMES[a.center.vertex() as usize]
+            );
         }
         println!(
             "\n  stored state: {} centers + 1-bit labels = {} words (n = 12)\n",

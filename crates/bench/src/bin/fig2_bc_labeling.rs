@@ -52,8 +52,10 @@ fn main() {
             format!("({},{})", a + 1, b + 1)
         })
         .collect();
-    let artic: Vec<u32> =
-        (0..9u32).filter(|&v| bc.is_articulation(&mut led, v)).map(|v| v + 1).collect();
+    let artic: Vec<u32> = (0..9u32)
+        .filter(|&v| bc.is_articulation(&mut led, v))
+        .map(|v| v + 1)
+        .collect();
     println!("bridges: {{{}}}   [paper: {{(2,5)}}]", bridges.join(", "));
     println!("articulation points: {artic:?}   [paper: {{2, 6}}]");
     // Recover the biconnected components (component ∪ head).

@@ -28,7 +28,10 @@ fn main() {
         }
     }
     let (lg, bcc) = oracle.local_of(&mut led, best.0);
-    println!("cluster (dense id {}): {} members, {} outside vertices", best.0, lg.n_members, best.1);
+    println!(
+        "cluster (dense id {}): {} members, {} outside vertices",
+        best.0, lg.n_members, best.1
+    );
     println!("  members Vi: {:?}", &lg.verts[..lg.n_members]);
     for (j, &dir) in lg.dirs.iter().enumerate() {
         let v = lg.verts[lg.n_members + j];
@@ -39,7 +42,13 @@ fn main() {
     }
     println!("  local edges (local ids, multigraph):");
     for (eid, &(a, b)) in lg.csr.edges().iter().enumerate() {
-        let kind = |x: u32| if (x as usize) < lg.n_members { "member" } else { "outside" };
+        let kind = |x: u32| {
+            if (x as usize) < lg.n_members {
+                "member"
+            } else {
+                "outside"
+            }
+        };
         println!(
             "    ({a:>3} {:<7}, {b:>3} {:<7})  bcc {}  bridge {}",
             kind(a),
@@ -51,7 +60,12 @@ fn main() {
     println!(
         "\n  analysis: {} local BCCs, articulation points at local ids {:?}",
         bcc.num_bcc,
-        (0..lg.csr.n() as u32).filter(|&v| bcc.articulation[v as usize]).collect::<Vec<_>>()
+        (0..lg.csr.n() as u32)
+            .filter(|&v| bcc.articulation[v as usize])
+            .collect::<Vec<_>>()
     );
-    println!("  built with {} asymmetric writes (query-time structure)", 0);
+    println!(
+        "  built with {} asymmetric writes (query-time structure)",
+        0
+    );
 }

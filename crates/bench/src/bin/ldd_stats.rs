@@ -16,7 +16,15 @@ fn main() {
         "{:>8} {:>8} {:>12} {:>10} {:>10} {:>12} {:>12}",
         "β", "parts", "cut edges", "cut/m", "≤β?", "max radius", "writes"
     );
-    for beta in [0.5f64, 0.25, 0.125, 1.0 / 16.0, 1.0 / 32.0, 1.0 / 64.0, 1.0 / 128.0] {
+    for beta in [
+        0.5f64,
+        0.25,
+        0.125,
+        1.0 / 16.0,
+        1.0 / 32.0,
+        1.0 / 64.0,
+        1.0 / 128.0,
+    ] {
         let mut cut_total = 0usize;
         let mut parts_total = 0usize;
         let mut radius_max = 0u32;
@@ -32,7 +40,11 @@ fn main() {
                 .filter(|&&(u, v)| r.part[u as usize] != r.part[v as usize])
                 .count();
             radius_max = radius_max.max(
-                (0..n).filter(|&v| r.bfs.level[v] != UNREACHED).map(|v| r.bfs.level[v]).max().unwrap(),
+                (0..n)
+                    .filter(|&v| r.bfs.level[v] != UNREACHED)
+                    .map(|v| r.bfs.level[v])
+                    .max()
+                    .unwrap(),
             );
         }
         let cut = cut_total as f64 / seeds as f64;
@@ -41,12 +53,20 @@ fn main() {
             parts_total / seeds as usize,
             cut,
             cut / m as f64,
-            if cut / (m as f64) <= beta { "yes" } else { "NO" },
+            if cut / (m as f64) <= beta {
+                "yes"
+            } else {
+                "NO"
+            },
             radius_max,
             writes
         );
     }
-    println!("\nexpected shape: cut/m ≤ β (in expectation; the race is one global sample per seed, so");
-    println!("rows with β below ~1/diameter carry large seed-to-seed variance); radius ≤ O(log n/β)");
+    println!(
+        "\nexpected shape: cut/m ≤ β (in expectation; the race is one global sample per seed, so"
+    );
+    println!(
+        "rows with β below ~1/diameter carry large seed-to-seed variance); radius ≤ O(log n/β)"
+    );
     println!("saturates at the graph diameter; writes ~ c·n, independent of β.");
 }

@@ -68,7 +68,9 @@ fn main() {
                 }
             );
             println!("{}", header("connectivity"));
-            let (r1, _) = measure("prior: sequential BFS", omega, |led| seq_connectivity(led, &g));
+            let (r1, _) = measure("prior: sequential BFS", omega, |led| {
+                seq_connectivity(led, &g)
+            });
             println!("{}", render(&r1));
             let (r2, _) = measure("prior: Shun et al. (contracting)", omega, |led| {
                 shun_connectivity(led, &g, 1)
@@ -84,8 +86,9 @@ fn main() {
             println!("{}", render(&r4));
 
             println!("{}", header("biconnectivity"));
-            let (r5, _) =
-                measure("prior: Hopcroft–Tarjan (std out)", omega, |led| hopcroft_tarjan(led, &g));
+            let (r5, _) = measure("prior: Hopcroft–Tarjan (std out)", omega, |led| {
+                hopcroft_tarjan(led, &g)
+            });
             println!("{}", render(&r5));
             let (r6, _) = measure("prior: parallel TV-style (std out)", omega, |led| {
                 classic_biconnectivity_standard_output(led, &g, 1)
@@ -99,16 +102,24 @@ fn main() {
                 build_biconnectivity_oracle(led, &g, &pri, &verts, k, 1, BuildOpts::default())
             });
             println!("{}", render(&r8));
-            let conn_work =
-                [("seqBFS", r1.work), ("Shun", r2.work), ("§4.2", r3.work), ("§4.3", r4.work)];
+            let conn_work = [
+                ("seqBFS", r1.work),
+                ("Shun", r2.work),
+                ("§4.2", r3.work),
+                ("§4.3", r4.work),
+            ];
             let conn_writes = [
                 ("seqBFS", r1.asym_writes),
                 ("Shun", r2.asym_writes),
                 ("§4.2", r3.asym_writes),
                 ("§4.3", r4.asym_writes),
             ];
-            let bicc_work =
-                [("HT", r5.work), ("TV", r6.work), ("§5.2", r7.work), ("§5.3", r8.work)];
+            let bicc_work = [
+                ("HT", r5.work),
+                ("TV", r6.work),
+                ("§5.2", r7.work),
+                ("§5.3", r8.work),
+            ];
             let bicc_writes = [
                 ("HT", r5.asym_writes),
                 ("TV", r6.asym_writes),

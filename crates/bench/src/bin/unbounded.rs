@@ -10,11 +10,16 @@ fn main() {
     println!("=== Section 6: connectivity oracle through the bounded-degree view ===\n");
     for (name, g) in [
         ("star(5000)", gen::star(5000)),
-        ("chung_lu(8000, m≈20000, γ=2.2)", gen::chung_lu(8000, 20_000, 2.2, 4)),
+        (
+            "chung_lu(8000, m≈20000, γ=2.2)",
+            gen::chung_lu(8000, 20_000, 2.2, 4),
+        ),
         ("gnm(3000, 30000)", gen::gnm(3000, 30_000, 9)),
     ] {
         let view = BoundedDegreeView::new(&g, 4);
-        let verts: Vec<Vertex> = (0..view.n() as u32).filter(|&v| view.is_vertex(v)).collect();
+        let verts: Vec<Vertex> = (0..view.n() as u32)
+            .filter(|&v| view.is_vertex(v))
+            .collect();
         let pri = Priorities::random(view.n(), 2);
         let mut led = Ledger::new(64);
         let oracle = ConnectivityOracle::build(
@@ -49,5 +54,7 @@ fn main() {
         );
     }
     println!("\nVertex-biconnectivity through the view is NOT exact in general —");
-    println!("see tests/section6.rs::vertex_biconnectivity_counterexample_is_real and DESIGN.md §1.");
+    println!(
+        "see tests/section6.rs::vertex_biconnectivity_counterexample_is_real and DESIGN.md §1."
+    );
 }

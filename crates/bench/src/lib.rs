@@ -19,6 +19,8 @@
 //!
 //! Criterion wall-clock benches live in `benches/`.
 
+use std::time::Instant;
+use wec_asym::report::json;
 use wec_asym::{CostReport, Costs, Ledger};
 
 /// Run a labeled measurement: fresh ledger at `omega`, returning the
@@ -27,6 +29,117 @@ pub fn measure<T>(label: &str, omega: u64, f: impl FnOnce(&mut Ledger) -> T) -> 
     let mut led = Ledger::new(omega);
     let out = f(&mut led);
     (led.report(label), out)
+}
+
+/// Wall-clock a closure: `(seconds, result)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Wall-clock a closure over `iters` runs (one untimed warm-up first),
+/// returning the per-run times **sorted ascending** — so `[0]` is the min,
+/// `[len / 2]` the median, `[len - 1]` the max.
+pub fn time_samples(iters: usize, mut f: impl FnMut()) -> Vec<f64> {
+    let iters = iters.max(1);
+    f(); // warm-up, untimed
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (s, ()) = time(&mut f);
+        samples.push(s);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples
+}
+
+/// Wall-clock a closure over `iters` runs, returning the **median** of the
+/// per-run times. Accounting protocol shared with [`time_samples`].
+pub fn time_median(iters: usize, f: impl FnMut()) -> f64 {
+    let samples = time_samples(iters, f);
+    samples[samples.len() / 2]
+}
+
+/// A parallel-vs-sequential wall-clock comparison of one build phase, as
+/// recorded in `BENCH_PR1.json`.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase label ("decomp/build", ...).
+    pub label: String,
+    /// Median seconds with [`Ledger::sequential`].
+    pub seconds_seq: f64,
+    /// Median seconds with [`Ledger::new`] (rayon pool).
+    pub seconds_par: f64,
+}
+
+impl PhaseTiming {
+    /// Sequential-over-parallel wall-clock ratio (> 1 means parallel wins).
+    pub fn speedup(&self) -> f64 {
+        if self.seconds_par > 0.0 {
+            self.seconds_seq / self.seconds_par
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("label", &self.label)
+            .float("seconds_seq", self.seconds_seq)
+            .float("seconds_par", self.seconds_par)
+            .float("speedup", self.speedup())
+            .finish()
+    }
+}
+
+/// The machine-readable perf snapshot each PR's bench run appends to: build
+/// times (parallel vs sequential ledger), query throughput, thread count,
+/// and ω, so later PRs have a trajectory to beat.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// Build-phase timings.
+    pub phases: Vec<PhaseTiming>,
+    /// Oracle point queries per second (wall-clock).
+    pub query_throughput_per_sec: f64,
+    /// Model-cost report of the oracle build (parallel ledger).
+    pub build_costs: CostReport,
+}
+
+impl BenchSnapshot {
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .raw(
+                "phases",
+                &json::array(self.phases.iter().map(|p| p.to_json())),
+            )
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .raw("build_costs", &self.build_costs.to_json())
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_BENCH_OUT` override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
 }
 
 /// Format a costs row for the fixed-width tables the binaries print.

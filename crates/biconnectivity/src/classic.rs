@@ -13,11 +13,7 @@ use wec_asym::Ledger;
 use wec_graph::Csr;
 
 /// Run the classic pipeline and emit the standard per-edge output array.
-pub fn classic_biconnectivity_standard_output(
-    led: &mut Ledger,
-    g: &Csr,
-    seed: u64,
-) -> Vec<u32> {
+pub fn classic_biconnectivity_standard_output(led: &mut Ledger, g: &Csr, seed: u64) -> Vec<u32> {
     // The underlying structure costs what the write-efficient version
     // costs...
     let bc = bc_labeling(led, g, 0.25, seed);

@@ -67,7 +67,11 @@ impl AuxView<'_> {
             if self.lh.critical[i] {
                 return None;
             }
-            let (p, c) = if self.lh.forest.parent(b) == a { (a, b) } else { (b, a) };
+            let (p, c) = if self.lh.forest.parent(b) == a {
+                (a, b)
+            } else {
+                (b, a)
+            };
             (!self.lh.forest.is_root(p)).then_some((p, c))
         } else {
             self.lh.unrelated(a, b).then_some((a, b))
@@ -175,7 +179,14 @@ pub fn bc_labeling_with_forest(
         led.read(1);
         led.write(2);
     }
-    BcLabeling { lh, label, head, comp_size, head_count, num_bcc }
+    BcLabeling {
+        lh,
+        label,
+        head,
+        comp_size,
+        head_count,
+        num_bcc,
+    }
 }
 
 impl BcLabeling {
@@ -293,7 +304,9 @@ mod tests {
             );
         }
         // per-edge BCC partition
-        let ours: Vec<u32> = (0..g.m() as u32).map(|e| bc.edge_bcc(&mut led, e, g)).collect();
+        let ours: Vec<u32> = (0..g.m() as u32)
+            .map(|e| bc.edge_bcc(&mut led, e, g))
+            .collect();
         assert!(
             same_partition(&ours, &ht.edge_bcc),
             "edge BCC partition mismatch (seed {seed})"
@@ -332,7 +345,16 @@ mod tests {
         // and sharing a *non-root* vertex: hang the pair off a path
         let g2 = Csr::from_edges(
             7,
-            &[(5, 6), (6, 0), (0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+            &[
+                (5, 6),
+                (6, 0),
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (0, 3),
+                (3, 4),
+                (4, 0),
+            ],
         );
         check_against_ht(&g2, 8);
     }
@@ -385,7 +407,10 @@ mod tests {
         let m = g.m() as u64;
         // O(n + m/ω + m-bit bitmaps): far below m once m ≫ n
         let bound = 42 * n as u64 + 10 * m / omega + 4 * m / 64 + 400;
-        assert!(w <= bound, "BC labeling writes {w} > bound {bound} (m = {m})");
+        assert!(
+            w <= bound,
+            "BC labeling writes {w} > bound {bound} (m = {m})"
+        );
         assert!(w < m, "must beat the Θ(m) standard output");
     }
 

@@ -99,14 +99,25 @@ pub fn low_high(led: &mut Ledger, g: &Csr, parent: Vec<Vertex>) -> LowHigh {
         if !is_tree_edge[eid] {
             continue;
         }
-        let (p, c) = if forest.parent(b) == a { (a, b) } else { (b, a) };
+        let (p, c) = if forest.parent(b) == a {
+            (a, b)
+        } else {
+            (b, a)
+        };
         led.read(4);
         if tour.first(p) <= low[c as usize] && high[c as usize] <= tour.last(p) {
             critical[eid] = true;
             led.write(1);
         }
     }
-    LowHigh { forest, tour, low, high, critical, is_tree_edge }
+    LowHigh {
+        forest,
+        tour,
+        low,
+        high,
+        critical,
+        is_tree_edge,
+    }
 }
 
 #[cfg(test)]
@@ -144,11 +155,10 @@ mod tests {
                 assert!(!lh.critical[eid]);
                 continue;
             }
-            let parent_is_root = (lh.forest.parent(b) == a && a == root)
-                || (lh.forest.parent(a) == b && b == root);
+            let parent_is_root =
+                (lh.forest.parent(b) == a && a == root) || (lh.forest.parent(a) == b && b == root);
             assert_eq!(
-                lh.critical[eid],
-                parent_is_root,
+                lh.critical[eid], parent_is_root,
                 "edge ({a},{b}): criticality should hold exactly for root child edges"
             );
         }

@@ -13,6 +13,11 @@ use wec_prims::{EulerTour, LcaIndex, RootedForest};
 /// Witness-BCC kind sentinel: extends upward into the parent.
 const KIND_UP: u32 = u32::MAX;
 
+/// Clusters per worker chunk in the per-cluster passes (steps 2 and 3):
+/// each cluster costs O(k²) operations, so small chunks keep the heavy
+/// passes balanced.
+const STEP_GRAIN: usize = 16;
+
 /// Whether the intra-cluster tree path between members `a` and `b` is
 /// bridge-free under the local multigraph's bridge flags.
 pub(super) fn intra_path_bridge_free(
@@ -72,8 +77,11 @@ pub fn build_biconnectivity_oracle<'a, G: GraphView>(
     let mut centers = d.centers().to_vec();
     centers.sort_unstable();
     let nc = centers.len();
-    let idx: FxHashMap<Vertex, u32> =
-        centers.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+    let idx: FxHashMap<Vertex, u32> = centers
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
     led.op(nc as u64);
 
     // ---- Step 1: clusters spanning forest with witness edges. ----
@@ -109,26 +117,51 @@ pub fn build_biconnectivity_oracle<'a, G: GraphView>(
     let lca = LcaIndex::new(led, &forest, &tour);
 
     // ---- Step 2: clusters-graph BC labeling (aux union-find). ----
+    // Each center's O(k²) implicit edge listing and its low/high fold touch
+    // only that center's slots, so the whole sweep fans out over per-worker
+    // ledger scopes (split/merge contract) and merges in index order.
     let mut w_low: Vec<u32> = (0..nc).map(|i| tour.pre[i]).collect();
     let mut w_high = w_low.clone();
     led.write(2 * nc as u64);
+    let (cg_ref, idx_ref, forest_ref, tour_ref, centers_ref) =
+        (&cg, &idx, &forest, &tour, &centers);
+    #[allow(clippy::type_complexity)]
+    let step2: Vec<(Vec<(u32, u32, u32)>, Vec<(u32, u32)>)> =
+        led.scoped_par(nc, STEP_GRAIN, &|r, s| {
+            let mut lows: Vec<(u32, u32, u32)> = Vec::new(); // (ci, low, high)
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for ci in r.start as u32..r.end as u32 {
+                let (mut lo, mut hi) = (tour_ref.pre[ci as usize], tour_ref.pre[ci as usize]);
+                let mut updated = false;
+                for e in cg_ref.neighbor_edges(s.ledger(), centers_ref[ci as usize]) {
+                    let yd = idx_ref[&e.center];
+                    s.op(2);
+                    let tree = forest_ref.parent(yd) == ci || forest_ref.parent(ci) == yd;
+                    if tree {
+                        continue;
+                    }
+                    lo = lo.min(tour_ref.pre[yd as usize]);
+                    hi = hi.max(tour_ref.pre[yd as usize]);
+                    updated = true;
+                    s.write(1);
+                    if ci < yd && !tour_ref.is_ancestor(ci, yd) && !tour_ref.is_ancestor(yd, ci) {
+                        pairs.push((ci, yd));
+                        s.write(1);
+                    }
+                }
+                if updated {
+                    lows.push((ci, lo, hi));
+                }
+            }
+            (lows, pairs)
+        });
     let mut nontree_pairs: Vec<(u32, u32)> = Vec::new();
-    for ci in 0..nc as u32 {
-        for e in cg.neighbor_edges(led, centers[ci as usize]) {
-            let yd = idx[&e.center];
-            led.op(2);
-            let tree = forest.parent(yd) == ci || forest.parent(ci) == yd;
-            if tree {
-                continue;
-            }
-            w_low[ci as usize] = w_low[ci as usize].min(tour.pre[yd as usize]);
-            w_high[ci as usize] = w_high[ci as usize].max(tour.pre[yd as usize]);
-            led.write(1);
-            if ci < yd && !tour.is_ancestor(ci, yd) && !tour.is_ancestor(yd, ci) {
-                nontree_pairs.push((ci, yd));
-                led.write(1);
-            }
+    for (lows, pairs) in step2 {
+        for (ci, lo, hi) in lows {
+            w_low[ci as usize] = lo;
+            w_high[ci as usize] = hi;
         }
+        nontree_pairs.extend(pairs);
     }
     let low = leaffix(led, &forest, &tour, &w_low, |a, b| a.min(b));
     let high = leaffix(led, &forest, &tour, &w_high, |a, b| a.max(b));
@@ -189,36 +222,67 @@ pub fn build_biconnectivity_oracle<'a, G: GraphView>(
             witness_outer: &witness_outer,
             cg_label: &cg_label,
         };
-        for ci in 0..nc as u32 {
-            let lg = build_local_graph(led, &d, &ctx, ci);
-            let bcc = analyze_local(led, &lg);
-            count_internal[ci as usize] =
-                bcc.bcc_touches_parent.iter().filter(|&&up| !up).count() as u64;
-            led.write(1);
-            let ci_root = witness_inner[ci as usize];
-            for &cj in forest.children(ci) {
+        // Per-cluster record computed on a worker scope: every cluster's
+        // local-graph build + Hopcroft–Tarjan analysis is independent, and a
+        // cluster only produces values for its own id and its cluster-tree
+        // children — disjoint slots, applied after the merge.
+        struct ChildRec {
+            cj: u32,
+            pass_up: bool,
+            bridge_wit: bool,
+            seg_bridge: bool,
+            witness_kind: u32,
+        }
+        let ctx_ref = &ctx;
+        let d_ref = &d;
+        let records: Vec<(u64, Vec<ChildRec>)> = led.scoped_par_map(nc, STEP_GRAIN, &|i, sc| {
+            let ci = i as u32;
+            let l = sc.ledger();
+            let lg = build_local_graph(l, d_ref, ctx_ref, ci);
+            let bcc = analyze_local(l, &lg);
+            let internal = bcc.bcc_touches_parent.iter().filter(|&&up| !up).count() as u64;
+            l.write(1);
+            let ci_root = ctx_ref.witness_inner[ci as usize];
+            let mut kids = Vec::new();
+            for &cj in ctx_ref.forest.children(ci) {
                 let xo = lg.child_outside(cj).expect("child outside vertex");
-                let wo = witness_outer[cj as usize];
-                if let Some(po) = lg.parent_outside {
-                    pass_up_v[cj as usize] = bcc.same_bcc(led, xo, po);
-                }
-                bridge_wit[cj as usize] = bcc.edge_is_bridge(led, &lg.csr, lg.index[&wo], xo);
-                if !forest.is_root(ci) {
-                    seg_bridge[cj as usize] =
-                        !intra_path_bridge_free(led, &lg, &bcc, wo, ci_root);
-                }
+                let wo = ctx_ref.witness_outer[cj as usize];
+                let pass_up = match lg.parent_outside {
+                    Some(po) => bcc.same_bcc(l, xo, po),
+                    None => true,
+                };
+                let bw = bcc.edge_is_bridge(l, &lg.csr, lg.index[&wo], xo);
+                let sb = !ctx_ref.forest.is_root(ci)
+                    && !intra_path_bridge_free(l, &lg, &bcc, wo, ci_root);
                 // Witness-edge BCC kind for label resolution.
                 let pos = lg
                     .csr
                     .arc_position(lg.index[&wo], xo)
                     .expect("witness edge present in local graph");
                 let b = bcc.edge_bcc[lg.csr.neighbor_edge_ids(lg.index[&wo])[pos] as usize];
-                witness_kind[cj as usize] = if bcc.bcc_touches_parent[b as usize] {
+                let wk = if bcc.bcc_touches_parent[b as usize] {
                     KIND_UP
                 } else {
                     bcc.internal_rank[b as usize]
                 };
-                led.write(4);
+                l.write(4);
+                kids.push(ChildRec {
+                    cj,
+                    pass_up,
+                    bridge_wit: bw,
+                    seg_bridge: sb,
+                    witness_kind: wk,
+                });
+            }
+            (internal, kids)
+        });
+        for (ci, (internal, kids)) in records.into_iter().enumerate() {
+            count_internal[ci] = internal;
+            for k in kids {
+                pass_up_v[k.cj as usize] = k.pass_up;
+                bridge_wit[k.cj as usize] = k.bridge_wit;
+                seg_bridge[k.cj as usize] = k.seg_bridge;
+                witness_kind[k.cj as usize] = k.witness_kind;
             }
         }
     }
@@ -252,12 +316,17 @@ pub fn build_biconnectivity_oracle<'a, G: GraphView>(
         // transit upward through a forest root).
         let parent_transits = !forest.is_root(p);
         let marked_v = parent_transits && !pass_up_v[d_id as usize];
-        let marked_e =
-            parent_transits && (bridge_wit[d_id as usize] || seg_bridge[d_id as usize]);
-        blocked_v_depth[d_id as usize] =
-            if marked_v { tour.depth[d_id as usize] } else { blocked_v_depth[p as usize] };
-        blocked_e_depth[d_id as usize] =
-            if marked_e { tour.depth[d_id as usize] } else { blocked_e_depth[p as usize] };
+        let marked_e = parent_transits && (bridge_wit[d_id as usize] || seg_bridge[d_id as usize]);
+        blocked_v_depth[d_id as usize] = if marked_v {
+            tour.depth[d_id as usize]
+        } else {
+            blocked_v_depth[p as usize]
+        };
+        blocked_e_depth[d_id as usize] = if marked_e {
+            tour.depth[d_id as usize]
+        } else {
+            blocked_e_depth[p as usize]
+        };
         led.write(3);
     }
 

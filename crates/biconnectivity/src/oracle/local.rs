@@ -141,8 +141,10 @@ pub fn build_local_graph<G: GraphView>(
         edges.push((index[&ctx.witness_inner[ci as usize]], po));
     }
     for &cj in children {
-        edges
-            .push((index[&ctx.witness_outer[cj as usize]], index[&ctx.witness_inner[cj as usize]]));
+        edges.push((
+            index[&ctx.witness_outer[cj as usize]],
+            index[&ctx.witness_inner[cj as usize]],
+        ));
     }
     // Categories 1a + 3: scan member adjacency.
     let member_set: wec_asym::FxHashSet<Vertex> = members.iter().copied().collect();
@@ -200,7 +202,10 @@ pub fn build_local_graph<G: GraphView>(
         };
         led.op(1);
         if label != NO_LABEL {
-            groups.entry(label).or_default().push((n_members + j) as u32);
+            groups
+                .entry(label)
+                .or_default()
+                .push((n_members + j) as u32);
         }
     }
     let mut chain_groups: Vec<Vec<u32>> = groups.into_values().collect();
@@ -214,7 +219,15 @@ pub fn build_local_graph<G: GraphView>(
 
     let csr = Csr::from_edges_multigraph(verts.len(), &edges);
     led.op(2 * edges.len() as u64);
-    LocalGraph { verts, index, n_members, csr, dirs, parent_outside, tree_parent }
+    LocalGraph {
+        verts,
+        index,
+        n_members,
+        csr,
+        dirs,
+        parent_outside,
+        tree_parent,
+    }
 }
 
 /// Biconnectivity analysis of a local graph, computed in symmetric memory.
@@ -286,8 +299,12 @@ pub fn analyze_local(led: &mut Ledger, lg: &LocalGraph) -> LocalBcc {
         // Per-vertex BCC membership.
         let mut vertex_bccs: Vec<Vec<u32>> = vec![Vec::new(); n];
         for v in 0..n as u32 {
-            let mut bs: Vec<u32> =
-                lg.csr.neighbor_edge_ids(v).iter().map(|&e| ht.edge_bcc[e as usize]).collect();
+            let mut bs: Vec<u32> = lg
+                .csr
+                .neighbor_edge_ids(v)
+                .iter()
+                .map(|&e| ht.edge_bcc[e as usize])
+                .collect();
             bs.sort_unstable();
             bs.dedup();
             scratch.op(bs.len() as u64 + 1);

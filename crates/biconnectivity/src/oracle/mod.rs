@@ -463,10 +463,14 @@ impl<'a, G: GraphView> BiconnectivityOracle<'a, G> {
                 };
                 let (lg, bcc) = self.local_of(led, host);
                 let vo = if self.tour.is_ancestor(host, far) && host != far {
-                    let ch = self.lca.child_toward(led, host, far).expect("descendant routing");
+                    let ch = self
+                        .lca
+                        .child_toward(led, host, far)
+                        .expect("descendant routing");
                     lg.child_outside(ch).expect("child outside present")
                 } else {
-                    lg.parent_outside.expect("unrelated edge needs parent direction")
+                    lg.parent_outside
+                        .expect("unrelated edge needs parent direction")
                 };
                 let ix = lg.index[&hostx];
                 let pos = lg

@@ -20,15 +20,8 @@ fn check_oracle(g: &Csr, k: usize, seed: u64) {
     let pri = Priorities::random(n, seed ^ 0x77);
     let verts: Vec<Vertex> = (0..n as u32).collect();
     let mut led = Ledger::new((k * k) as u64);
-    let oracle = build_biconnectivity_oracle(
-        &mut led,
-        g,
-        &pri,
-        &verts,
-        k,
-        seed,
-        BuildOpts::default(),
-    );
+    let oracle =
+        build_biconnectivity_oracle(&mut led, g, &pri, &verts, k, seed, BuildOpts::default());
     let mut led2 = Ledger::new(4);
     let ht = hopcroft_tarjan(&mut led2, g);
 
@@ -65,7 +58,11 @@ fn check_oracle(g: &Csr, k: usize, seed: u64) {
     }
     // the map must also be injective (distinct ids ↦ distinct HT labels)
     let distinct: std::collections::HashSet<u32> = id_map.values().copied().collect();
-    assert_eq!(distinct.len(), id_map.len(), "BCC id conflation (k={k} seed={seed})");
+    assert_eq!(
+        distinct.len(),
+        id_map.len(),
+        "BCC id conflation (k={k} seed={seed})"
+    );
 
     // pairwise biconnected / 2-edge-connected
     for u in 0..n as u32 {
@@ -100,8 +97,7 @@ fn structured_families() {
 
 #[test]
 fn barbell_and_shared_articulations() {
-    let barbell =
-        Csr::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+    let barbell = Csr::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
     check_oracle(&barbell, 2, 1);
     check_oracle(&barbell, 3, 2);
     // two triangles sharing one vertex
@@ -111,7 +107,20 @@ fn barbell_and_shared_articulations() {
     // chain of triangles through articulation points
     let chain = Csr::from_edges(
         9,
-        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6), (6, 4), (6, 7), (7, 8), (8, 6)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 2),
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (6, 7),
+            (7, 8),
+            (8, 6),
+        ],
     );
     check_oracle(&chain, 3, 5);
 }
@@ -186,7 +195,10 @@ fn build_writes_scale_inversely_with_k_and_queries_write_free() {
         let w = led.costs().asym_writes;
         writes.push(w);
         let bound = (20.0 * (n as f64 / k as f64) * log2n) as u64;
-        assert!(w <= bound, "oracle build writes {w} > O((n/k)·log n) bound {bound} (k={k})");
+        assert!(
+            w <= bound,
+            "oracle build writes {w} > O((n/k)·log n) bound {bound} (k={k})"
+        );
         if k == 48 {
             // query-write-freedom checked on the final oracle
             let w0 = led.costs().asym_writes;

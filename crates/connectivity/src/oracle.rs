@@ -16,6 +16,11 @@ use wec_core::{BuildOpts, Center, ClustersGraph, ImplicitDecomposition};
 use wec_graph::{GraphView, Priorities, Vertex};
 use wec_prims::low_diameter_decomposition;
 
+/// Centers per worker chunk when listing implicit clusters-graph edges:
+/// each listing costs O(k²) operations, so small chunks keep the heavy
+/// pass balanced across workers.
+const CLUSTER_LIST_GRAIN: usize = 16;
+
 /// A component identity returned by oracle queries. Two vertices are
 /// connected iff their `ComponentId`s are equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,19 +33,13 @@ pub enum ComponentId {
 }
 
 /// Build options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OracleBuildOpts {
     /// Use the §4.2-style parallel pipeline (LDD over the implicit clusters
     /// graph with β = 1/k) instead of the sequential union-find sweep.
     pub parallel_clusters_pass: bool,
     /// Options forwarded to the decomposition build.
     pub decomp: BuildOpts,
-}
-
-impl Default for OracleBuildOpts {
-    fn default() -> Self {
-        OracleBuildOpts { parallel_clusters_pass: false, decomp: BuildOpts::default() }
-    }
 }
 
 /// The sublinear-write connectivity oracle.
@@ -68,8 +67,11 @@ impl<'a, G: GraphView> ConnectivityOracle<'a, G> {
         let centers = decomp.centers().to_vec();
         let mut uf = UnionFind::new(centers.len());
         led.write(centers.len() as u64);
-        let index: FxHashMap<Vertex, u32> =
-            centers.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        let index: FxHashMap<Vertex, u32> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
         led.op(centers.len() as u64);
 
         if opts.parallel_clusters_pass {
@@ -87,43 +89,70 @@ impl<'a, G: GraphView> ConnectivityOracle<'a, G> {
                     led.op(1);
                 }
             }
-            // cross-part cluster edges via implicit listing
-            for &c in &centers {
-                for e in cg.neighbor_edges(led, c) {
-                    led.op(1);
-                    if ldd.part[c as usize] != ldd.part[e.center as usize] {
-                        cross.push((index[&c], index[&e.center]));
+            // Cross-part cluster edges via implicit listing: each center's
+            // O(k²) edge enumeration runs on its own ledger scope (the
+            // listing never writes, so the pass is embarrassingly parallel).
+            let (cg_ref, ldd_ref, index_ref) = (&cg, &ldd, &index);
+            let listed: Vec<Vec<(u32, u32)>> =
+                led.scoped_par(centers.len(), CLUSTER_LIST_GRAIN, &|r, s| {
+                    let mut local = Vec::new();
+                    for &c in &centers[r] {
+                        for e in cg_ref.neighbor_edges(s.ledger(), c) {
+                            s.op(1);
+                            if ldd_ref.part[c as usize] != ldd_ref.part[e.center as usize] {
+                                local.push((index_ref[&c], index_ref[&e.center]));
+                            }
+                        }
                     }
-                }
-            }
+                    local
+                });
+            cross.extend(listed.into_iter().flatten());
+            led.read(2 * cross.len() as u64);
+            let mut unions = 0u64;
             for (a, b) in cross {
-                led.read(2);
-                if uf.union(a, b) {
-                    led.write(1);
-                }
+                unions += u64::from(uf.union(a, b));
             }
+            led.write(unions);
         } else {
-            // Sequential sweep: union every implicit clusters-graph edge.
-            for &c in &centers {
-                for e in cg.neighbor_edges(led, c) {
-                    led.read(2);
-                    if uf.union(index[&c], index[&e.center]) {
-                        led.write(1);
+            // Sweep every implicit clusters-graph edge: the expensive
+            // enumeration fans out over ledger scopes, the cheap union-find
+            // sweep stays sequential with bulk charges.
+            let cg_ref = &cg;
+            let index_ref = &index;
+            let listed: Vec<Vec<(u32, u32)>> =
+                led.scoped_par(centers.len(), CLUSTER_LIST_GRAIN, &|r, s| {
+                    let mut local = Vec::new();
+                    for &c in &centers[r] {
+                        for e in cg_ref.neighbor_edges(s.ledger(), c) {
+                            local.push((index_ref[&c], index_ref[&e.center]));
+                        }
                     }
-                }
+                    local
+                });
+            let mut unions = 0u64;
+            let mut edges = 0u64;
+            for (a, b) in listed.into_iter().flatten() {
+                edges += 1;
+                unions += u64::from(uf.union(a, b));
             }
+            led.read(2 * edges);
+            led.write(unions);
         }
 
         let dense = uf.labels();
         led.read(centers.len() as u64);
         let mut labels = FxHashMap::default();
         labels.reserve(centers.len());
+        led.write(centers.len() as u64);
         for (i, &c) in centers.iter().enumerate() {
             labels.insert(c, dense[i]);
-            led.write(1);
         }
         let num = uf.components();
-        ConnectivityOracle { decomp, labels, num_labeled_components: num }
+        ConnectivityOracle {
+            decomp,
+            labels,
+            num_labeled_components: num,
+        }
     }
 
     /// The underlying decomposition.
@@ -181,20 +210,18 @@ mod tests {
 
     #[test]
     fn oracle_answers_all_pairs_on_multi_component_graph() {
-        let g = disjoint_union(&[&grid(5, 5), &path(7), &torus(3, 4), &Csr::from_edges(3, &[])]);
+        let g = disjoint_union(&[
+            &grid(5, 5),
+            &path(7),
+            &torus(3, 4),
+            &Csr::from_edges(3, &[]),
+        ]);
         let n = g.n();
         let pri = Priorities::random(n, 3);
         let verts: Vec<Vertex> = (0..n as u32).collect();
         let mut led = Ledger::new(16);
-        let oracle = ConnectivityOracle::build(
-            &mut led,
-            &g,
-            &pri,
-            &verts,
-            4,
-            7,
-            OracleBuildOpts::default(),
-        );
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 4, 7, OracleBuildOpts::default());
         check_against_truth(&g, &oracle, &mut led);
     }
 
@@ -212,7 +239,10 @@ mod tests {
             &verts,
             4,
             2,
-            OracleBuildOpts { parallel_clusters_pass: true, ..Default::default() },
+            OracleBuildOpts {
+                parallel_clusters_pass: true,
+                ..Default::default()
+            },
         );
         check_against_truth(&g, &oracle, &mut led);
     }
@@ -223,15 +253,8 @@ mod tests {
         let pri = Priorities::random(200, 5);
         let verts: Vec<Vertex> = (0..200).collect();
         let mut led = Ledger::new(16);
-        let oracle = ConnectivityOracle::build(
-            &mut led,
-            &g,
-            &pri,
-            &verts,
-            4,
-            3,
-            OracleBuildOpts::default(),
-        );
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 4, 3, OracleBuildOpts::default());
         let w0 = led.costs().asym_writes;
         for v in 0..200u32 {
             let _ = oracle.component(&mut led, v);
@@ -273,7 +296,10 @@ mod tests {
                 oracle.storage_words()
             );
             if k >= 16 {
-                assert!(oracle.storage_words() < n, "storage must be o(n) once k ≫ constants");
+                assert!(
+                    oracle.storage_words() < n,
+                    "storage must be o(n) once k ≫ constants"
+                );
             }
         }
         assert!(
@@ -321,15 +347,8 @@ mod tests {
         let g = Csr::from_edges(1, &[]);
         let pri = Priorities::identity(1);
         let mut led = Ledger::new(4);
-        let oracle = ConnectivityOracle::build(
-            &mut led,
-            &g,
-            &pri,
-            &[0],
-            2,
-            1,
-            OracleBuildOpts::default(),
-        );
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &[0], 2, 1, OracleBuildOpts::default());
         assert_eq!(oracle.component(&mut led, 0), oracle.component(&mut led, 0));
     }
 }

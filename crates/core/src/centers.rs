@@ -53,7 +53,12 @@ impl CenterSet {
     pub fn with_capacity(led: &mut Ledger, expected: usize) -> Self {
         let cap = (4 * expected.max(4)).next_power_of_two();
         led.write(cap as u64);
-        CenterSet { slots: vec![0; cap], primary: vec![false; cap], mask: cap - 1, len: 0 }
+        CenterSet {
+            slots: vec![0; cap],
+            primary: vec![false; cap],
+            mask: cap - 1,
+            len: 0,
+        }
     }
 
     /// Number of centers stored.
@@ -73,23 +78,25 @@ impl CenterSet {
             self.grow(led);
         }
         let mut i = hash_vertex(v) as usize & self.mask;
+        let mut probes = 1u64;
         loop {
-            led.read(1);
             let s = self.slots[i];
             if s == 0 {
                 self.slots[i] = v + 1;
                 self.primary[i] = label == CenterLabel::Primary;
                 self.len += 1;
-                led.write(1);
-                return;
+                break;
             }
             if s == v + 1 {
                 self.primary[i] = label == CenterLabel::Primary;
-                led.write(1);
-                return;
+                break;
             }
             i = (i + 1) & self.mask;
+            probes += 1;
         }
+        // Probe reads and the slot write, charged in one batch.
+        led.read(probes);
+        led.write(1);
     }
 
     fn grow(&mut self, led: &mut Ledger) {
@@ -104,7 +111,11 @@ impl CenterSet {
         led.read(old_slots.len() as u64);
         for (s, p) in old_slots.into_iter().zip(old_primary) {
             if s != 0 {
-                let label = if p { CenterLabel::Primary } else { CenterLabel::Secondary };
+                let label = if p {
+                    CenterLabel::Primary
+                } else {
+                    CenterLabel::Secondary
+                };
                 self.insert(led, s - 1, label);
             }
         }
@@ -114,14 +125,29 @@ impl CenterSet {
     /// build time to materialize the center list.
     pub fn to_vec(&self, led: &mut Ledger) -> Vec<Vertex> {
         led.read(self.slots.len() as u64);
-        self.slots.iter().filter(|&&s| s != 0).map(|&s| s - 1).collect()
+        self.slots
+            .iter()
+            .filter(|&&s| s != 0)
+            .map(|&s| s - 1)
+            .collect()
     }
 
     /// Uncharged snapshot for tests/harnesses.
     pub fn iter_uncharged(&self) -> impl Iterator<Item = (Vertex, CenterLabel)> + '_ {
-        self.slots.iter().zip(self.primary.iter()).filter(|(&s, _)| s != 0).map(|(&s, &p)| {
-            (s - 1, if p { CenterLabel::Primary } else { CenterLabel::Secondary })
-        })
+        self.slots
+            .iter()
+            .zip(self.primary.iter())
+            .filter(|(&s, _)| s != 0)
+            .map(|(&s, &p)| {
+                (
+                    s - 1,
+                    if p {
+                        CenterLabel::Primary
+                    } else {
+                        CenterLabel::Secondary
+                    },
+                )
+            })
     }
 
     /// Words of asymmetric memory the table occupies (for the O(n/k)
@@ -135,21 +161,25 @@ impl CenterSet {
 impl CenterLookup for CenterSet {
     fn lookup(&self, led: &mut Ledger, v: Vertex) -> Option<CenterLabel> {
         let mut i = hash_vertex(v) as usize & self.mask;
-        loop {
-            led.read(1);
+        let mut probes = 1u64;
+        let out = loop {
             let s = self.slots[i];
             if s == 0 {
-                return None;
+                break None;
             }
             if s == v + 1 {
-                return Some(if self.primary[i] {
+                break Some(if self.primary[i] {
                     CenterLabel::Primary
                 } else {
                     CenterLabel::Secondary
                 });
             }
             i = (i + 1) & self.mask;
-        }
+            probes += 1;
+        };
+        // Batched probe charge (the hottest read path in ρ queries).
+        led.read(probes);
+        out
     }
 }
 
@@ -164,7 +194,10 @@ pub struct OverlayCenters<'a> {
 impl<'a> OverlayCenters<'a> {
     /// Wrap `base` with an empty local overlay.
     pub fn new(base: &'a CenterSet) -> Self {
-        OverlayCenters { base, local: Vec::new() }
+        OverlayCenters {
+            base,
+            local: Vec::new(),
+        }
     }
 
     /// Add a local secondary center. Charges one write (the model cost of

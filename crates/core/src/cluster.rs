@@ -124,8 +124,10 @@ pub fn enumerate_cluster<G: GraphView>(
         if cand.is_empty() {
             break;
         }
-        let mut next: Vec<(u32, u32, Vertex, Vertex)> =
-            cand.into_iter().map(|(w, (pr, p))| (pr, pri.rank(w), w, p)).collect();
+        let mut next: Vec<(u32, u32, Vertex, Vertex)> = cand
+            .into_iter()
+            .map(|(w, (pr, p))| (pr, pri.rank(w), w, p))
+            .collect();
         next.sort_unstable();
         led.op(next.len() as u64 * 4);
         let mut new_level = Vec::with_capacity(next.len());
@@ -149,7 +151,12 @@ pub fn enumerate_cluster<G: GraphView>(
         level = new_level;
     }
     led.sym_free(sym_words);
-    Cluster { center: s, members, parents, truncated }
+    Cluster {
+        center: s,
+        members,
+        parents,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +185,12 @@ mod tests {
         let cs = centers_of(&mut led, &[0, 9], &[]);
         let c0 = enumerate_cluster(&mut led, &g, &pri, &cs, 0, usize::MAX);
         let c9 = enumerate_cluster(&mut led, &g, &pri, &cs, 9, usize::MAX);
-        let mut all: Vec<_> = c0.members.iter().chain(c9.members.iter()).copied().collect();
+        let mut all: Vec<_> = c0
+            .members
+            .iter()
+            .chain(c9.members.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
         assert!(!c0.truncated && !c9.truncated);
@@ -214,8 +226,14 @@ mod tests {
             if i == 0 {
                 assert_eq!(v, p);
             } else {
-                assert!(seen.contains(&p), "parent {p} of {v} must be enumerated earlier");
-                assert!(g.neighbors(v).contains(&p), "tree edge must be a graph edge");
+                assert!(
+                    seen.contains(&p),
+                    "parent {p} of {v} must be enumerated earlier"
+                );
+                assert!(
+                    g.neighbors(v).contains(&p),
+                    "tree edge must be a graph edge"
+                );
             }
             seen.insert(v);
         }

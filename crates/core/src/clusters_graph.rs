@@ -72,8 +72,12 @@ impl<'a, G: GraphView> ClustersGraph<'a, G> {
                     Center::ImplicitMin(c) => c,
                 };
                 debug_assert_ne!(c, x);
-                if !seen.contains_key(&c) {
-                    seen.insert(c, ClusterEdge { center: c, inner: v, outer: w });
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(c) {
+                    e.insert(ClusterEdge {
+                        center: c,
+                        inner: v,
+                        outer: w,
+                    });
                     order.push(c);
                     led.op(1);
                 }

@@ -8,8 +8,13 @@ use crate::rho::{rho, RhoAnswer};
 use crate::secondary::{secondary_centers_overlay, secondary_centers_seq};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use wec_asym::Ledger;
+use wec_asym::{Charge, Ledger};
 use wec_graph::{GraphView, Priorities, Vertex};
+
+/// Vertices per worker chunk in the center-less-component scan: each probe
+/// is O(k) expected work, so a few hundred per task amortizes scheduling
+/// while keeping the pass load-balanced.
+const COMPONENT_SCAN_GRAIN: usize = 256;
 
 /// Construction statistics (for the decomposition-scaling experiments).
 #[derive(Debug, Clone, Default)]
@@ -36,7 +41,10 @@ pub struct BuildOpts {
 
 impl Default for BuildOpts {
     fn default() -> Self {
-        BuildOpts { ensure_components: true, parallel: false }
+        BuildOpts {
+            ensure_components: true,
+            parallel: false,
+        }
     }
 }
 
@@ -74,36 +82,51 @@ impl<'a, G: GraphView> ImplicitDecomposition<'a, G> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xdec0);
         let mut centers = CenterSet::with_capacity(led, (2 * n / k).max(8));
         let mut stats = BuildStats::default();
-        // Line 1: sample S0.
+        // Line 1: sample S0. The coin flips stay on the sequential rng
+        // stream; the per-vertex unit op is a known count, charged in bulk.
+        led.charge_ops(n as u64);
         for &v in vertices {
-            led.op(1);
             if rng.gen_range(0..k) == 0 {
                 centers.insert(led, v, CenterLabel::Primary);
                 stats.sampled_primaries += 1;
             }
         }
         // Unconnected extension: mark the minimum-priority vertex of every
-        // center-less component of size ≥ k as primary.
+        // center-less component of size ≥ k as primary. Every vertex probes
+        // the post-sampling snapshot independently (the winner set — one
+        // minimum per center-less component — does not depend on probe
+        // order), so the searches run as one flat parallel pass with
+        // per-worker ledger scopes; the few winners are inserted afterward.
         if opts.ensure_components {
-            for &v in vertices {
-                let mut s = DetSearch::new(led, g, pri, v);
-                let found = loop {
-                    if s.first_in_frontier(led, &centers, CenterLabel::Primary).is_some() {
-                        break true;
+            let base = &centers;
+            let winners: Vec<Vec<Vertex>> =
+                led.scoped_par(n, COMPONENT_SCAN_GRAIN, &|range, scope| {
+                    let l = scope.ledger();
+                    let mut found_mins = Vec::new();
+                    for &v in &vertices[range] {
+                        let mut s = DetSearch::new(l, g, pri, v);
+                        let found = loop {
+                            if s.first_in_frontier(l, base, CenterLabel::Primary).is_some() {
+                                break true;
+                            }
+                            if !s.advance(l) {
+                                break false;
+                            }
+                        };
+                        if !found && s.visited() >= k {
+                            let min = s.info.keys().copied().min_by_key(|&u| pri.rank(u)).unwrap();
+                            l.op(s.visited() as u64);
+                            if min == v {
+                                found_mins.push(v);
+                            }
+                        }
+                        s.release(l);
                     }
-                    if !s.advance(led) {
-                        break false;
-                    }
-                };
-                if !found && s.visited() >= k {
-                    let min = s.info.keys().copied().min_by_key(|&u| pri.rank(u)).unwrap();
-                    led.op(s.visited() as u64);
-                    if min == v {
-                        centers.insert(led, v, CenterLabel::Primary);
-                        stats.component_primaries += 1;
-                    }
-                }
-                s.release(led);
+                    found_mins
+                });
+            for v in winners.into_iter().flatten() {
+                centers.insert(led, v, CenterLabel::Primary);
+                stats.component_primaries += 1;
             }
         }
         // Lines 3–4: SECONDARYCENTERS per primary.
@@ -112,11 +135,14 @@ impl<'a, G: GraphView> ImplicitDecomposition<'a, G> {
             .filter(|&(_, l)| l == CenterLabel::Primary)
             .map(|(v, _)| v)
             .collect();
-        led.read(primaries.len() as u64);
+        led.charge_reads(primaries.len() as u64);
         if opts.parallel {
+            // Lemma 3.7: distinct primaries plant their secondaries against
+            // thread-local overlays of the shared base set — one heavy
+            // O(k²)-ish task per primary, so the scheduling grain is one.
             let base = &centers;
-            let locals: Vec<Vec<Vertex>> = led.par_map(primaries.len(), 1, &|i, l| {
-                secondary_centers_overlay(l, g, pri, base, primaries[i], k)
+            let locals: Vec<Vec<Vertex>> = led.scoped_par_map(primaries.len(), 1, &|i, scope| {
+                secondary_centers_overlay(scope.ledger(), g, pri, base, primaries[i], k)
             });
             for local in locals {
                 for u in local {
@@ -130,8 +156,15 @@ impl<'a, G: GraphView> ImplicitDecomposition<'a, G> {
             }
         }
         let center_list = centers.to_vec(led);
-        led.write(center_list.len() as u64);
-        ImplicitDecomposition { g, pri, k, centers, center_list, stats }
+        led.charge_writes(center_list.len() as u64);
+        ImplicitDecomposition {
+            g,
+            pri,
+            k,
+            centers,
+            center_list,
+            stats,
+        }
     }
 
     /// The cluster-size parameter.
@@ -221,9 +254,19 @@ mod tests {
         let total: usize = clusters.values().map(|c| c.len()).sum();
         assert_eq!(total, n, "every vertex in exactly one cluster");
         for (&c, members) in &clusters {
-            assert!(members.len() <= k, "cluster {c} has {} > k={k}", members.len());
-            assert!(props::induced_connected(g, members), "cluster {c} not connected");
-            assert!(members.contains(&c), "center {c} must live in its own cluster");
+            assert!(
+                members.len() <= k,
+                "cluster {c} has {} > k={k}",
+                members.len()
+            );
+            assert!(
+                props::induced_connected(g, members),
+                "cluster {c} not connected"
+            );
+            assert!(
+                members.contains(&c),
+                "center {c} must live in its own cluster"
+            );
         }
         // cluster() enumeration agrees with rho()-grouping
         for (&c, members) in &clusters {
@@ -242,15 +285,8 @@ mod tests {
         let pri = Priorities::random(144, 5);
         let mut led = Ledger::new(8);
         let verts: Vec<Vertex> = (0..144).collect();
-        let d = ImplicitDecomposition::build(
-            &mut led,
-            &g,
-            &pri,
-            &verts,
-            6,
-            42,
-            BuildOpts::default(),
-        );
+        let d =
+            ImplicitDecomposition::build(&mut led, &g, &pri, &verts, 6, 42, BuildOpts::default());
         validate(&g, &d, 6);
     }
 
@@ -287,7 +323,10 @@ mod tests {
             &verts,
             5,
             3,
-            BuildOpts { parallel: true, ..Default::default() },
+            BuildOpts {
+                parallel: true,
+                ..Default::default()
+            },
         );
         validate(&g, &d, 5);
     }
@@ -324,7 +363,11 @@ mod tests {
         let c = d.num_centers();
         assert!(c >= n / (4 * k), "too few centers: {c}");
         assert!(c <= 8 * n / k, "too many centers: {c} (n/k = {})", n / k);
-        assert!(d.storage_words() <= 64 * n / k, "storage {} words", d.storage_words());
+        assert!(
+            d.storage_words() <= 64 * n / k,
+            "storage {} words",
+            d.storage_words()
+        );
     }
 
     #[test]
@@ -345,7 +388,10 @@ mod tests {
         );
         // and ops ~ O(kn)
         let ops = led.costs().operations();
-        assert!(ops <= 600 * (k as u64) * (n as u64), "construction ops {ops} not O(kn)");
+        assert!(
+            ops <= 600 * (k as u64) * (n as u64),
+            "construction ops {ops} not O(kn)"
+        );
         let _ = d;
     }
 
@@ -423,15 +469,8 @@ mod tests {
         let pri = Priorities::identity(6);
         let mut led = Ledger::new(8);
         let verts: Vec<Vertex> = (0..6).collect();
-        let d = ImplicitDecomposition::build(
-            &mut led,
-            &g,
-            &pri,
-            &verts,
-            64,
-            11,
-            BuildOpts::default(),
-        );
+        let d =
+            ImplicitDecomposition::build(&mut led, &g, &pri, &verts, 64, 11, BuildOpts::default());
         // with k > n, sampling may pick nobody; component pass only fires
         // for components ≥ k; queries still resolve via implicit minimum.
         validate(&g, &d, 64);

@@ -52,10 +52,24 @@ impl<'a, G: GraphView> DetSearch<'a, G> {
     /// Start a search at `start` (level 0, rank 0).
     pub fn new(led: &mut Ledger, g: &'a G, pri: &'a Priorities, start: Vertex) -> Self {
         let mut info = FxHashMap::default();
-        info.insert(start, NodeInfo { parent: start, level: 0, rank: 0 });
+        info.insert(
+            start,
+            NodeInfo {
+                parent: start,
+                level: 0,
+                rank: 0,
+            },
+        );
         led.op(1);
         led.sym_alloc(WORDS_PER_NODE);
-        DetSearch { g, pri, info, frontier: vec![start], level: 0, sym_words: WORDS_PER_NODE }
+        DetSearch {
+            g,
+            pri,
+            info,
+            frontier: vec![start],
+            level: 0,
+            sym_words: WORDS_PER_NODE,
+        }
     }
 
     /// Current level's vertices in canonical rank order.
@@ -97,8 +111,10 @@ impl<'a, G: GraphView> DetSearch<'a, G> {
             return false;
         }
         // Canonical order within the new level.
-        let mut next: Vec<(u32, u32, Vertex)> =
-            cand.iter().map(|(&w, &pr)| (pr, self.pri.rank(w), w)).collect();
+        let mut next: Vec<(u32, u32, Vertex)> = cand
+            .iter()
+            .map(|(&w, &pr)| (pr, self.pri.rank(w), w))
+            .collect();
         next.sort_unstable();
         let f = next.len() as u64;
         led.op(f * (64 - f.leading_zeros() as u64).max(1)); // sort cost
@@ -108,7 +124,14 @@ impl<'a, G: GraphView> DetSearch<'a, G> {
         for (rank, &(pr, _, w)) in next.iter().enumerate() {
             // Parent ranks refer to the *previous* level's order.
             let parent = old_frontier[pr as usize];
-            self.info.insert(w, NodeInfo { parent, level: self.level, rank: rank as u32 });
+            self.info.insert(
+                w,
+                NodeInfo {
+                    parent,
+                    level: self.level,
+                    rank: rank as u32,
+                },
+            );
             led.op(1);
             new_frontier.push(w);
         }
@@ -144,7 +167,10 @@ impl<'a, G: GraphView> DetSearch<'a, G> {
         centers: &impl CenterLookup,
         want: CenterLabel,
     ) -> Option<Vertex> {
-        self.frontier.iter().copied().find(|&u| centers.lookup(led, u) == Some(want))
+        self.frontier
+            .iter()
+            .copied()
+            .find(|&u| centers.lookup(led, u) == Some(want))
     }
 
     /// Release the symmetric memory this search charged.

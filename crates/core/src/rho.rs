@@ -83,7 +83,11 @@ pub fn rho<G: GraphView>(
                 }
             }
             let parent_hop = if dist == 0 { v } else { path[1] };
-            RhoAnswer { center: Center::Stored(center), parent_hop, dist }
+            RhoAnswer {
+                center: Center::Stored(center),
+                parent_hop,
+                dist,
+            }
         }
         None => {
             // Component exhausted: implicit minimum-priority center.
@@ -95,13 +99,21 @@ pub fn rho<G: GraphView>(
                 .expect("search visited at least v");
             led.op(s.info.len() as u64);
             if min == v {
-                RhoAnswer { center: Center::ImplicitMin(v), parent_hop: v, dist: 0 }
+                RhoAnswer {
+                    center: Center::ImplicitMin(v),
+                    parent_hop: v,
+                    dist: 0,
+                }
             } else {
                 // Path v → min under the *same* canonical order: the search
                 // from v already has canonical parents for min.
                 let path = s.path_from_start(led, min);
                 let dist = (path.len() - 1) as u32;
-                RhoAnswer { center: Center::ImplicitMin(min), parent_hop: path[1], dist }
+                RhoAnswer {
+                    center: Center::ImplicitMin(min),
+                    parent_hop: path[1],
+                    dist,
+                }
             }
         }
     };
@@ -161,7 +173,7 @@ mod tests {
         assert_eq!(a.parent_hop, 1);
         let b = rho(&mut led, &g, &pri, &cs, 7);
         assert_eq!(b.center, Center::Stored(9));
-        assert_eq!(led.costs().asym_writes > 0, true); // only center-set setup wrote
+        assert!(led.costs().asym_writes > 0); // only center-set setup wrote
     }
 
     #[test]
@@ -248,7 +260,11 @@ mod tests {
         for v in 0..64u32 {
             let _ = rho(&mut led, &g, &pri, &cs, v);
         }
-        assert_eq!(led.costs().asym_writes, w0, "ρ must perform no asymmetric writes");
+        assert_eq!(
+            led.costs().asym_writes,
+            w0,
+            "ρ must perform no asymmetric writes"
+        );
         assert_eq!(led.sym_live(), 0, "all symmetric memory released");
     }
 

@@ -35,12 +35,13 @@ pub fn pick_splitter(led: &mut Ledger, cluster: &Cluster) -> Vertex {
     for &v in &cluster.members {
         size.insert(v, 1);
     }
-    led.op(cluster.members.len() as u64);
+    // Init + one accumulation per non-root member (exactly members − 1 in a
+    // single-rooted cluster tree): known counts, charged in bulk.
+    led.op(2 * cluster.members.len() as u64 - 1);
     for (&v, &p) in cluster.members.iter().zip(&cluster.parents).rev() {
         if p != v {
             let sv = size[&v];
             *size.get_mut(&p).unwrap() += sv;
-            led.op(1);
         }
     }
     let kids = cluster.children_map();
@@ -188,7 +189,7 @@ mod tests {
         // path tree: subtree of u has between (10/2-1)/2 and 10/2 members
         let pos = c.members.iter().position(|&m| m == u).unwrap();
         let subtree = c.members.len() - pos; // path: suffix is the subtree
-        assert!(subtree >= 2 && subtree <= 5, "subtree {subtree}");
+        assert!((2..=5).contains(&subtree), "subtree {subtree}");
     }
 
     #[test]
@@ -232,7 +233,10 @@ mod tests {
         let sizes = cluster_sizes(&mut led, &g, &pri, &cs, n);
         assert!(sizes.values().all(|&sz| sz <= k));
         // O(n/k) centers with a generous constant (degree ≤ 5 here)
-        assert!(added <= 6 * n / k, "added {added} secondaries for n={n}, k={k}");
+        assert!(
+            added <= 6 * n / k,
+            "added {added} secondaries for n={n}, k={k}"
+        );
     }
 
     #[test]
@@ -271,6 +275,9 @@ mod tests {
         let w0 = led.costs().asym_writes;
         let added = secondary_centers_seq(&mut led, &g, &pri, &mut cs, 0, k);
         let dw = led.costs().asym_writes - w0;
-        assert!(dw <= 3 * added as u64 + 2, "writes {dw} for {added} additions");
+        assert!(
+            dw <= 3 * added as u64 + 2,
+            "writes {dw} for {added} additions"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl<'a> BoundedDegreeView<'a> {
     /// Wrap `g` with degree cap `cap ≥ 3`. Construction only scans degrees
     /// (free: input preprocessing, like storing the graph itself).
     pub fn new(g: &'a Csr, cap: usize) -> Self {
-        assert!(cap >= 3, "cap must be at least 3 (internal nodes have degree 3)");
+        assert!(
+            cap >= 3,
+            "cap must be at least 3 (internal nodes have degree 3)"
+        );
         let mut hi = Vec::new();
         let mut block = vec![0u64];
         let mut acc = 0u64;
@@ -125,7 +128,10 @@ impl<'a> BoundedDegreeView<'a> {
         if h == 1 {
             return v;
         }
-        let bi = self.hi.binary_search(&v).expect("encode: not a high-degree vertex");
+        let bi = self
+            .hi
+            .binary_search(&v)
+            .expect("encode: not a high-degree vertex");
         (self.g.n() as u64 + self.block[bi] + h - 2) as Vertex
     }
 
@@ -185,7 +191,10 @@ impl<'a> BoundedDegreeView<'a> {
         if self.g.degree(w) <= self.cap {
             return w;
         }
-        let j = self.g.arc_position(w, v).expect("simple graph: reverse arc exists");
+        let j = self
+            .g
+            .arc_position(w, v)
+            .expect("simple graph: reverse arc exists");
         led.read((usize::BITS - self.g.degree(w).leading_zeros()) as u64);
         let h = self.leaf_covering(led, w, j);
         self.encode(w, h)
@@ -336,14 +345,20 @@ mod tests {
             }
         }
         assert!(max_deg <= 4, "degree {max_deg} exceeds cap");
-        assert_eq!(led.costs().asym_writes, 0, "view queries must be write-free");
+        assert_eq!(
+            led.costs().asym_writes,
+            0,
+            "view queries must be write-free"
+        );
     }
 
     #[test]
     fn view_preserves_connectivity_of_originals() {
-        for (g, name) in
-            [(star(40), "star"), (complete(12), "complete"), (crate::gen::gnm(30, 120, 5), "gnm")]
-        {
+        for (g, name) in [
+            (star(40), "star"),
+            (complete(12), "complete"),
+            (crate::gen::gnm(30, 120, 5), "gnm"),
+        ] {
             let view = BoundedDegreeView::new(&g, 4);
             check_symmetry(&view);
             // BFS over the view from vertex 0, collect reached originals.
@@ -359,10 +374,15 @@ mod tests {
                     }
                 }
             }
-            let originals: Vec<_> =
-                seen.iter().filter(|&&v| (v as usize) < g.n()).copied().collect();
+            let originals: Vec<_> = seen
+                .iter()
+                .filter(|&&v| (v as usize) < g.n())
+                .copied()
+                .collect();
             let (comp, _) = props::components(&g);
-            let expected = (0..g.n() as u32).filter(|&v| comp[v as usize] == comp[0]).count();
+            let expected = (0..g.n() as u32)
+                .filter(|&v| comp[v as usize] == comp[0])
+                .count();
             assert_eq!(originals.len(), expected, "{name}: originals reached");
         }
     }
@@ -393,7 +413,10 @@ mod tests {
         for &(u, w) in g.edges() {
             let (a, b) = view.edge_image(&mut led, u, w);
             let nbrs = view.neighbors_vec(&mut led, a);
-            assert!(nbrs.contains(&b), "edge image ({u},{w}) -> ({a},{b}) not adjacent");
+            assert!(
+                nbrs.contains(&b),
+                "edge image ({u},{w}) -> ({a},{b}) not adjacent"
+            );
             assert_eq!(view.owner(a), u);
             assert_eq!(view.owner(b), w);
         }

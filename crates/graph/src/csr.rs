@@ -50,7 +50,10 @@ impl Csr {
 
     fn from_canonical(n: usize, canon: Vec<(Vertex, Vertex)>) -> Csr {
         for &(u, v) in &canon {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
         }
         let mut deg = vec![0u32; n];
         for &(u, v) in &canon {
@@ -77,7 +80,13 @@ impl Csr {
         }
         // Sort each adjacency list by (target, edge id) so positions are
         // binary-searchable and iteration order is deterministic.
-        let mut csr = Csr { n, offsets, targets, edge_ids, edges: canon };
+        let mut csr = Csr {
+            n,
+            offsets,
+            targets,
+            edge_ids,
+            edges: canon,
+        };
         for v in 0..n {
             let (lo, hi) = (csr.offsets[v] as usize, csr.offsets[v + 1] as usize);
             let mut pairs: Vec<(Vertex, EdgeId)> = (lo..hi)
@@ -112,21 +121,30 @@ impl Csr {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(v as Vertex)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.degree(v as Vertex))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors of `v` in sorted order (uncharged; model code should go
     /// through [`crate::view::GraphView`]).
     #[inline]
     pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
-        let (lo, hi) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        let (lo, hi) = (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        );
         &self.targets[lo..hi]
     }
 
     /// Parallel slice of undirected edge ids for [`Csr::neighbors`].
     #[inline]
     pub fn neighbor_edge_ids(&self, v: Vertex) -> &[EdgeId] {
-        let (lo, hi) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        let (lo, hi) = (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        );
         &self.edge_ids[lo..hi]
     }
 

@@ -30,8 +30,11 @@ pub fn shuffle_labels(g: &Csr, seed: u64) -> (Csr, Vec<Vertex>) {
     let mut map: Vec<Vertex> = (0..n as u32).collect();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5348_5546);
     map.shuffle(&mut rng);
-    let edges: Vec<_> =
-        g.edges().iter().map(|&(u, v)| (map[u as usize], map[v as usize])).collect();
+    let edges: Vec<_> = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| (map[u as usize], map[v as usize]))
+        .collect();
     (Csr::from_edges(n, &edges), map)
 }
 

@@ -14,7 +14,10 @@ fn rng_for(seed: u64, salt: u64) -> SmallRng {
 pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n >= 2 || m == 0, "need at least 2 vertices for edges");
     let max_m = n * (n - 1) / 2;
-    assert!(m <= max_m, "requested more edges than the simple graph holds");
+    assert!(
+        m <= max_m,
+        "requested more edges than the simple graph holds"
+    );
     let mut rng = rng_for(seed, 0x6e72);
     let mut set: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
     set.reserve(m);
@@ -40,25 +43,24 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
 /// `n·d` even and `d < n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Csr {
     assert!(d < n, "degree must be below n");
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut rng = rng_for(seed, 0x726567);
     // Stubs: d copies of each vertex, randomly paired (Fisher–Yates).
-    let mut stubs: Vec<Vertex> =
-        (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<Vertex> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     for i in (1..stubs.len()).rev() {
         let j = rng.gen_range(0..=i);
         stubs.swap(i, j);
     }
-    let mut pairs: Vec<(Vertex, Vertex)> =
-        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    let mut pairs: Vec<(Vertex, Vertex)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
     let np = pairs.len();
     let canon = |(u, v): (Vertex, Vertex)| (u.min(v), u.max(v));
     let mut multiset: FxHashSet<(Vertex, Vertex)> = FxHashSet::default();
     let violates = |p: (Vertex, Vertex), set: &FxHashSet<(Vertex, Vertex)>| {
         p.0 == p.1 || set.contains(&canon(p))
     };
-    for i in 0..np {
-        let p = pairs[i];
+    for &p in pairs.iter().take(np) {
         if p.0 != p.1 {
             multiset.insert(canon(p)); // duplicates collapse; detected below
         }
@@ -73,7 +75,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Csr {
     }
     let mut budget = 200 * np + 10_000;
     while let Some(&i) = bad.last() {
-        assert!(budget > 0, "random_regular: repair did not converge (n={n}, d={d})");
+        assert!(
+            budget > 0,
+            "random_regular: repair did not converge (n={n}, d={d})"
+        );
         budget -= 1;
         let j = rng.gen_range(0..np);
         if j == i {
@@ -137,7 +142,10 @@ pub fn random_tree_bounded(n: usize, max_deg: usize, seed: u64) -> Csr {
         if deg[v as usize] < max_deg {
             open.push(v);
         }
-        assert!(!open.is_empty() || v as usize == n - 1, "degree budget exhausted");
+        assert!(
+            !open.is_empty() || v as usize == n - 1,
+            "degree budget exhausted"
+        );
     }
     Csr::from_edges(n, &edges)
 }
@@ -269,6 +277,9 @@ mod tests {
         assert!(g.m() > 800, "sampling should reach close to target");
         let dmax = g.max_degree();
         let avg = 2.0 * g.m() as f64 / 500.0;
-        assert!(dmax as f64 > 4.0 * avg, "power law should have heavy head: max {dmax} avg {avg}");
+        assert!(
+            dmax as f64 > 4.0 * avg,
+            "power law should have heavy head: max {dmax} avg {avg}"
+        );
     }
 }

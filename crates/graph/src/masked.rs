@@ -25,7 +25,11 @@ impl<'a> MaskedCsr<'a> {
     pub fn new(led: &mut Ledger, g: &'a Csr) -> Self {
         let words = g.m().div_ceil(64);
         led.write(words as u64);
-        MaskedCsr { g, banned: vec![0; words.max(1)], num_banned: 0 }
+        MaskedCsr {
+            g,
+            banned: vec![0; words.max(1)],
+            num_banned: 0,
+        }
     }
 
     /// Mask an edge by id (idempotent). One write per newly masked edge.

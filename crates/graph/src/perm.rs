@@ -20,7 +20,9 @@ pub struct Priorities {
 impl Priorities {
     /// Identity order: vertex id = rank.
     pub fn identity(n: usize) -> Self {
-        Priorities { rank: (0..n as u32).collect() }
+        Priorities {
+            rank: (0..n as u32).collect(),
+        }
     }
 
     /// A seeded uniformly random total order.
@@ -41,7 +43,10 @@ impl Priorities {
         let n = rank.len();
         let mut seen = vec![false; n];
         for &r in &rank {
-            assert!((r as usize) < n && !seen[r as usize], "rank array must be a permutation");
+            assert!(
+                (r as usize) < n && !seen[r as usize],
+                "rank array must be a permutation"
+            );
             seen[r as usize] = true;
         }
         Priorities { rank }
@@ -92,7 +97,7 @@ mod tests {
         let p1 = Priorities::random(100, 7);
         let p2 = Priorities::random(100, 7);
         let p3 = Priorities::random(100, 8);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for v in 0..100u32 {
             assert_eq!(p1.rank(v), p2.rank(v));
             assert!(!seen[p1.rank(v) as usize]);

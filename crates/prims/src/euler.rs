@@ -58,7 +58,12 @@ impl RootedForest {
             }
         }
         led.write(children.len() as u64);
-        RootedForest { parent, roots, children_off, children }
+        RootedForest {
+            parent,
+            roots,
+            children_off,
+            children,
+        }
     }
 
     /// Number of vertex slots (including out-of-forest ids).
@@ -92,8 +97,10 @@ impl RootedForest {
     /// Children of `v` (insertion order = vertex id order).
     #[inline]
     pub fn children(&self, v: Vertex) -> &[Vertex] {
-        let (lo, hi) =
-            (self.children_off[v as usize] as usize, self.children_off[v as usize + 1] as usize);
+        let (lo, hi) = (
+            self.children_off[v as usize] as usize,
+            self.children_off[v as usize + 1] as usize,
+        );
         &self.children[lo..hi]
     }
 
@@ -158,7 +165,12 @@ impl EulerTour {
                 }
             }
         }
-        EulerTour { pre, size, depth, order }
+        EulerTour {
+            pre,
+            size,
+            depth,
+            order,
+        }
     }
 
     /// `first(v)` — preorder rank.

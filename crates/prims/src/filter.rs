@@ -28,7 +28,8 @@ pub fn filter_indices(
 
 /// Write-efficient filter-map: collect `f(i)` for `i ∈ 0..n` where `f`
 /// returns `Some`, in index order. Charges: `f`'s own costs twice (count +
-/// emit pass), one write per emitted element, one write per block.
+/// emit pass — the emit pass is skipped entirely when nothing survived),
+/// one write per emitted element, one write per block.
 pub fn filter_map_collect<T: Send + Copy>(
     led: &mut Ledger,
     n: usize,
@@ -44,19 +45,22 @@ pub fn filter_map_collect<T: Send + Copy>(
         cnt
     });
     let total = *offsets.last().unwrap() as usize;
-    let nb = offsets.len() - 1;
+    if total == 0 {
+        return Vec::new();
+    }
+    // Emit pass: one worker scope per block (split/merge ledger); the
+    // surviving elements of a block are written with one bulk charge.
     let offsets_ref = &offsets;
-    let parts: Vec<Vec<T>> = led.par_map(nb, 1, &|b, l| {
-        let lo = b * FILTER_BLOCK;
-        let hi = ((b + 1) * FILTER_BLOCK).min(n);
+    let parts: Vec<Vec<T>> = led.scoped_par(n, FILTER_BLOCK, &|r, s| {
+        let b = r.start / FILTER_BLOCK;
         let expect = (offsets_ref[b + 1] - offsets_ref[b]) as usize;
         let mut out = Vec::with_capacity(expect);
-        for i in lo..hi {
-            if let Some(v) = f(i, l) {
+        for i in r {
+            if let Some(v) = f(i, s.ledger()) {
                 out.push(v);
             }
         }
-        l.write(out.len() as u64);
+        s.write(out.len() as u64);
         out
     });
     let mut out = Vec::with_capacity(total);

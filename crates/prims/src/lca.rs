@@ -61,7 +61,11 @@ impl LcaIndex {
         }
         // Sparse table of argmin depth.
         let m = walk.len();
-        let levels = if m <= 1 { 1 } else { (usize::BITS - (m - 1).leading_zeros()) as usize + 1 };
+        let levels = if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        };
         let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
         table.push((0..m as u32).collect());
         led.write(m as u64);
@@ -73,7 +77,11 @@ impl LcaIndex {
             for i in 0..width {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if walk[a as usize].0 <= walk[b as usize].0 { a } else { b });
+                row.push(if walk[a as usize].0 <= walk[b as usize].0 {
+                    a
+                } else {
+                    b
+                });
             }
             led.read(2 * width as u64);
             led.write(width as u64);
@@ -110,7 +118,11 @@ impl LcaIndex {
         let j = (usize::BITS - 1 - len.leading_zeros()) as usize;
         let a = self.table[j][lo];
         let b = self.table[j][hi + 1 - (1 << j)];
-        let best = if self.walk[a as usize].0 <= self.walk[b as usize].0 { a } else { b };
+        let best = if self.walk[a as usize].0 <= self.walk[b as usize].0 {
+            a
+        } else {
+            b
+        };
         let cand = self.walk[best as usize].1;
         // Different trees: candidate must actually be an ancestor of both.
         (self.is_ancestor(cand, u) && self.is_ancestor(cand, v)).then_some(cand)
@@ -120,10 +132,7 @@ impl LcaIndex {
     #[inline]
     pub fn is_ancestor(&self, anc: Vertex, v: Vertex) -> bool {
         let (p, q) = (self.pre[anc as usize], self.pre[v as usize]);
-        p != u32::MAX
-            && q != u32::MAX
-            && p <= q
-            && q <= p + self.size[anc as usize] - 1
+        p != u32::MAX && q != u32::MAX && p <= q && q < p + self.size[anc as usize]
     }
 
     /// The child of `c` whose subtree contains the strict descendant `d`.
@@ -201,8 +210,8 @@ mod tests {
         let n = 200usize;
         let mut rng = SmallRng::seed_from_u64(99);
         let mut parent = vec![0u32; n];
-        for v in 1..n {
-            parent[v] = rng.gen_range(0..v) as u32;
+        for (v, slot) in parent.iter_mut().enumerate().skip(1) {
+            *slot = rng.gen_range(0..v) as u32;
         }
         let mut led = Ledger::new(8);
         let f = RootedForest::from_parents(&mut led, parent.clone());

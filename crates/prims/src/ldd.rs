@@ -56,24 +56,32 @@ pub fn low_diameter_decomposition(
     // exponential race is what bounds the cut probability of each edge by
     // 1 − e^{-β} ≤ β. (Starting smallest-first would make boundary gaps
     // order-statistic-sized, ~1/(nβ), and shred the graph.)
-    let deltas: Vec<f64> =
-        vertices.iter().map(|_| -(1.0 - rng.gen::<f64>()).ln() / beta).collect();
+    let deltas: Vec<f64> = vertices
+        .iter()
+        .map(|_| -(1.0 - rng.gen::<f64>()).ln() / beta)
+        .collect();
     let delta_max = deltas.iter().cloned().fold(0.0f64, f64::max);
+    // Bucketing is a known-count pass: 2 ops (draw + bucket index) and one
+    // bucket-slot write per vertex, charged in bulk (the shift draws
+    // themselves must stay on the sequential rng stream).
+    led.op(2 * vertices.len() as u64);
+    led.write(vertices.len() as u64);
     let mut buckets: Vec<Vec<Vertex>> = Vec::new();
     for (&v, &d) in vertices.iter().zip(&deltas) {
         let b = (delta_max - d) as usize;
         if b >= buckets.len() {
             buckets.resize(b + 1, Vec::new());
         }
-        led.op(2);
-        led.write(1);
         buckets[b].push(v);
     }
     let last_bucket = buckets.len();
     let mut bucket_iter = buckets.into_iter();
     let bfs = bfs_with_injection(led, g, &mut |round, _| {
         let sources = bucket_iter.next().unwrap_or_default();
-        Injection { sources, done: round + 1 >= last_bucket }
+        Injection {
+            sources,
+            done: round + 1 >= last_bucket,
+        }
     });
     // Dense part ids for the centers that actually started.
     let mut part = vec![u32::MAX; g.n()];
@@ -85,9 +93,9 @@ pub fn low_diameter_decomposition(
         if bfs.parent[v as usize] == v {
             part[v as usize] = centers.len() as u32;
             centers.push(v);
-            led.write(1);
         }
     }
+    led.write(centers.len() as u64); // dense center ids
     led.write(vertices.len() as u64); // part labels
     for &v in vertices {
         let s = bfs.source_of[v as usize];
@@ -116,9 +124,13 @@ mod tests {
             assert_eq!(r.part[c as usize], pid as u32);
         }
         for pid in 0..r.num_parts() {
-            let members: Vec<Vertex> =
-                (0..g.n() as u32).filter(|&v| r.part[v as usize] == pid as u32).collect();
-            assert!(props::induced_connected(g, &members), "part {pid} disconnected");
+            let members: Vec<Vertex> = (0..g.n() as u32)
+                .filter(|&v| r.part[v as usize] == pid as u32)
+                .collect();
+            assert!(
+                props::induced_connected(g, &members),
+                "part {pid} disconnected"
+            );
         }
     }
 
@@ -164,10 +176,15 @@ mod tests {
         let beta = 0.1;
         let mut led = Ledger::new(8);
         let r = low_diameter_decomposition(&mut led, &g, &all_vertices(&g), beta, 5);
-        let max_level =
-            (0..g.n()).filter(|&v| r.bfs.level[v] != UNREACHED).map(|v| r.bfs.level[v]).max();
+        let max_level = (0..g.n())
+            .filter(|&v| r.bfs.level[v] != UNREACHED)
+            .map(|v| r.bfs.level[v])
+            .max();
         let bound = (4.0 * (g.n() as f64).ln() / beta) as u32;
-        assert!(max_level.unwrap() <= bound, "radius {max_level:?} > bound {bound}");
+        assert!(
+            max_level.unwrap() <= bound,
+            "radius {max_level:?} > bound {bound}"
+        );
     }
 
     #[test]
@@ -185,7 +202,10 @@ mod tests {
         let mut led = Ledger::new(16);
         let _r = low_diameter_decomposition(&mut led, &g, &all_vertices(&g), 0.125, 3);
         let w = led.costs().asym_writes;
-        assert!(w <= 8 * 1000 + 200, "LDD writes {w} should be O(n), m = 20k");
+        assert!(
+            w <= 8 * 1000 + 200,
+            "LDD writes {w} should be O(n), m = 20k"
+        );
     }
 
     #[test]

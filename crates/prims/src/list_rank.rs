@@ -26,10 +26,9 @@ pub fn list_rank(led: &mut Ledger, next: &[u32], seed: u64) -> Vec<u32> {
     let mut has_pred = vec![false; n];
     led.read(n as u64);
     led.write(n as u64);
-    for v in 0..n {
-        let nx = next[v] as usize;
-        if nx != v {
-            has_pred[nx] = true;
+    for (v, &nx) in next.iter().enumerate() {
+        if nx as usize != v {
+            has_pred[nx as usize] = true;
         }
     }
     // Splitters: heads, terminals, and a 1/s random sample.
@@ -46,27 +45,27 @@ pub fn list_rank(led: &mut Ledger, next: &[u32], seed: u64) -> Vec<u32> {
     let next_ref = next;
     // For each node: (segment head, offset from head). For each splitter:
     // (next splitter downstream, segment length).
-    let seg_results: Vec<(u32, u32, Vec<(u32, u32)>)> =
-        led.par_map(splitters.len(), 4, &|i, l| {
-            let head = splitters[i];
-            let mut nodes = Vec::new();
-            let mut cur = head;
-            let mut off = 0u32;
-            loop {
-                nodes.push((cur, off));
-                l.read(1);
-                l.write(2); // head + offset record for cur
-                let nx = next_ref[cur as usize];
-                if nx == cur {
-                    return (cur, off, nodes); // terminal
-                }
-                if is_split_ref[nx as usize] {
-                    return (nx, off + 1, nodes);
-                }
-                cur = nx;
-                off += 1;
+    type SegResult = (u32, u32, Vec<(u32, u32)>);
+    let seg_results: Vec<SegResult> = led.par_map(splitters.len(), 4, &|i, l| {
+        let head = splitters[i];
+        let mut nodes = Vec::new();
+        let mut cur = head;
+        let mut off = 0u32;
+        loop {
+            nodes.push((cur, off));
+            l.read(1);
+            l.write(2); // head + offset record for cur
+            let nx = next_ref[cur as usize];
+            if nx == cur {
+                return (cur, off, nodes); // terminal
             }
-        });
+            if is_split_ref[nx as usize] {
+                return (nx, off + 1, nodes);
+            }
+            cur = nx;
+            off += 1;
+        }
+    });
     // Rank the splitter chain: rank(splitter) via reverse accumulation.
     let mut seg_next: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
     let mut node_head_off: Vec<(u32, u32)> = vec![(u32::MAX, 0); n];

@@ -27,13 +27,17 @@ pub fn reduce_sum(led: &mut Ledger, data: &[u64]) -> u64 {
 pub fn exclusive_scan(led: &mut Ledger, data: &[u64], block: usize) -> Vec<u64> {
     let n = data.len();
     let block = block.max(1);
-    let nb = n.div_ceil(block).max(1);
-    let sums = led.par_map(nb, 1, &|b, l| {
-        let lo = b * block;
-        let hi = ((b + 1) * block).min(n);
-        l.read((hi - lo) as u64);
-        data[lo..hi].iter().sum::<u64>()
-    });
+    // Count pass: per-block sums, one flat parallel sweep with per-worker
+    // scopes (split/merge ledger) and a single bulk read charge per block.
+    let sums = if n == 0 {
+        vec![0u64]
+    } else {
+        led.scoped_par(n, block, &|r, s| {
+            s.read(r.len() as u64);
+            data[r].iter().sum::<u64>()
+        })
+    };
+    let nb = sums.len();
     // Scan of block sums (small, sequential in symmetric memory).
     let mut offsets = Vec::with_capacity(nb + 1);
     let mut acc = 0u64;
@@ -48,16 +52,15 @@ pub fn exclusive_scan(led: &mut Ledger, data: &[u64], block: usize) -> Vec<u64> 
     out[n] = acc;
     led.write(1);
     let offsets_ref = &offsets;
-    let chunks: Vec<(usize, Vec<u64>)> = led.par_map(nb, 1, &|b, l| {
-        let lo = b * block;
-        let hi = ((b + 1) * block).min(n);
-        let mut cur = offsets_ref[b];
+    let chunks: Vec<(usize, Vec<u64>)> = led.scoped_par(n.max(1), block, &|r, s| {
+        let (lo, hi) = (r.start, r.end.min(n));
+        let mut cur = offsets_ref[lo / block];
         let mut vals = Vec::with_capacity(hi - lo);
-        l.read((hi - lo) as u64);
-        l.write((hi - lo) as u64);
-        for j in lo..hi {
+        s.read((hi - lo) as u64);
+        s.write((hi - lo) as u64);
+        for &d in &data[lo..hi] {
             vals.push(cur);
-            cur += data[j];
+            cur += d;
         }
         (lo, vals)
     });
@@ -78,12 +81,14 @@ pub fn block_offsets(
     count_in_block: &(impl Fn(usize, usize, &mut Ledger) -> u64 + Sync),
 ) -> Vec<u64> {
     let block = block.max(1);
-    let nb = n.div_ceil(block).max(1);
-    let sums = led.par_map(nb, 1, &|b, l| {
-        let lo = b * block;
-        let hi = ((b + 1) * block).min(n);
-        count_in_block(lo, hi, l)
-    });
+    // One worker scope per block: the predicate charges its reads to the
+    // scope it runs under, blocks count concurrently.
+    let sums = if n == 0 {
+        vec![count_in_block(0, 0, led)]
+    } else {
+        led.scoped_par(n, block, &|r, s| count_in_block(r.start, r.end, s.ledger()))
+    };
+    let nb = sums.len();
     let mut offsets = Vec::with_capacity(nb + 1);
     let mut acc = 0u64;
     led.op(nb as u64);

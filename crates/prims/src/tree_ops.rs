@@ -79,7 +79,11 @@ pub fn nearest_marked_ancestor(
         let p = forest.parent(v);
         led.read(2);
         led.write(1);
-        out[v as usize] = if marked[p as usize] { Some(p) } else { out[p as usize] };
+        out[v as usize] = if marked[p as usize] {
+            Some(p)
+        } else {
+            out[p as usize]
+        };
     }
     out
 }
@@ -148,7 +152,7 @@ mod tests {
     #[test]
     fn nearest_marked_none_when_clean() {
         let (f, t, mut led) = tree();
-        let nm = nearest_marked_ancestor(&mut led, &f, &t, &vec![false; 7]);
+        let nm = nearest_marked_ancestor(&mut led, &f, &t, &[false; 7]);
         assert!(nm.iter().all(|x| x.is_none()));
     }
 }

@@ -19,15 +19,8 @@ fn main() {
     // --- connectivity oracle (§4.3): O(n/√ω) writes ---
     let mut led = Ledger::new(omega);
     let k = led.sqrt_omega();
-    let conn = ConnectivityOracle::build(
-        &mut led,
-        &g,
-        &pri,
-        &verts,
-        k,
-        1,
-        OracleBuildOpts::default(),
-    );
+    let conn =
+        ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, OracleBuildOpts::default());
     println!("connectivity oracle   (k = {k}):");
     println!("  {}", led.report("build").render());
     let before = led.costs();

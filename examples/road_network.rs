@@ -32,13 +32,18 @@ fn main() {
     }
     let g = Csr::from_edges(joined.n(), &edges);
     let n = g.n();
-    println!("road network: {} junctions, {} roads, ω = {omega}", n, g.m());
+    println!(
+        "road network: {} junctions, {} roads, ω = {omega}",
+        n,
+        g.m()
+    );
 
     // --- §5.2 BC labeling ---
     let mut led = Ledger::new(omega);
     let bc = bc_labeling(&mut led, &g, 1.0 / omega as f64, 1);
-    let artic: Vec<Vertex> =
-        (0..n as u32).filter(|&v| bc.is_articulation(&mut led, v)).collect();
+    let artic: Vec<Vertex> = (0..n as u32)
+        .filter(|&v| bc.is_articulation(&mut led, v))
+        .collect();
     let bridges: Vec<(Vertex, Vertex)> = (0..g.m() as u32)
         .filter(|&e| bc.is_bridge(&mut led, e, &g))
         .map(|e| g.edge(e))
@@ -50,7 +55,10 @@ fn main() {
         bridges.len(),
         bc.num_bcc
     );
-    println!("  bridge roads into suburbs: {:?}", &bridges[..bridges.len().min(6)]);
+    println!(
+        "  bridge roads into suburbs: {:?}",
+        &bridges[..bridges.len().min(6)]
+    );
 
     // --- §5.3 oracle: same answers, sublinear setup writes ---
     let pri = Priorities::random(n, 5);

@@ -27,7 +27,9 @@ fn main() {
     let p_bond = 1.0 - (-2.0f64 * coupling).exp();
     let lattice = gen::grid(side, side);
     let mut rng = SmallRng::seed_from_u64(7);
-    let mut spins: Vec<i8> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+    let mut spins: Vec<i8> = (0..n)
+        .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+        .collect();
 
     let mut ours_writes = 0u64;
     let mut prior_writes = 0u64;
@@ -38,9 +40,7 @@ fn main() {
             .edges()
             .iter()
             .copied()
-            .filter(|&(u, v)| {
-                spins[u as usize] == spins[v as usize] && rng.gen::<f64>() < p_bond
-            })
+            .filter(|&(u, v)| spins[u as usize] == spins[v as usize] && rng.gen::<f64>() < p_bond)
             .collect();
         let bond_graph = Csr::from_edges(n, &bonds);
 

@@ -33,9 +33,13 @@ fn omega_one_degenerates_gracefully() {
     for u in 0..60u32 {
         assert!(oracle.connected(&mut led, u, 0));
     }
-    let bicc = build_biconnectivity_oracle(&mut led, &g, &pri, &verts(60), 1, 1, BuildOpts::default());
+    let bicc =
+        build_biconnectivity_oracle(&mut led, &g, &pri, &verts(60), 1, 1, BuildOpts::default());
     for v in 0..60u32 {
-        assert_eq!(bicc.is_articulation(&mut led, v), brute::articulation_points(&g)[v as usize]);
+        assert_eq!(
+            bicc.is_articulation(&mut led, v),
+            brute::articulation_points(&g)[v as usize]
+        );
     }
 }
 
@@ -44,15 +48,8 @@ fn k_exceeding_n_is_fine() {
     let g = gen::cycle(9);
     let pri = Priorities::random(9, 4);
     let mut led = Ledger::new(10_000);
-    let oracle = build_biconnectivity_oracle(
-        &mut led,
-        &g,
-        &pri,
-        &verts(9),
-        100,
-        3,
-        BuildOpts::default(),
-    );
+    let oracle =
+        build_biconnectivity_oracle(&mut led, &g, &pri, &verts(9), 100, 3, BuildOpts::default());
     for u in 0..9u32 {
         for v in 0..9u32 {
             assert!(oracle.biconnected(&mut led, u, v));
@@ -125,15 +122,8 @@ fn long_path_worst_case_tree() {
     let pri = Priorities::random(n, 8);
     for k in [2usize, 7, 16] {
         let mut led = Ledger::new((k * k) as u64);
-        let oracle = build_biconnectivity_oracle(
-            &mut led,
-            &g,
-            &pri,
-            &verts(n),
-            k,
-            9,
-            BuildOpts::default(),
-        );
+        let oracle =
+            build_biconnectivity_oracle(&mut led, &g, &pri, &verts(n), k, 9, BuildOpts::default());
         // every edge a bridge, every internal vertex an articulation point
         assert!(oracle.is_bridge(&mut led, 100, 101));
         assert!(oracle.is_articulation(&mut led, 200));

@@ -82,7 +82,10 @@ fn figure1_decomposition_invariants() {
             assert!(wec::graph::props::induced_connected(&g, &cl.members));
         }
         // 1-bit labels: every stored center is either primary or secondary.
-        assert!(d.centers().iter().all(|&c| d.center_label(&mut led, c).is_some()));
+        assert!(d
+            .centers()
+            .iter()
+            .all(|&c| d.center_label(&mut led, c).is_some()));
     }
 }
 
@@ -144,14 +147,18 @@ fn figure2_bc_labeling_content() {
         .collect();
     assert_eq!(bridges, vec![(1, 4)]);
     // articulation points: exactly {1, 5}  [paper: {2, 6}]
-    let artic: Vec<Vertex> =
-        (0..9u32).filter(|&v| bc.is_articulation(&mut led, v)).collect();
+    let artic: Vec<Vertex> = (0..9u32)
+        .filter(|&v| bc.is_articulation(&mut led, v))
+        .collect();
     assert_eq!(artic, vec![1, 5]);
     // BCC vertex sets via same-BCC equivalence
     let big = [0u32, 1, 2, 3, 5, 6];
     for &u in &big {
         for &v in &big {
-            assert!(bc.same_bcc(&mut led, u, v), "({u},{v}) in the big component");
+            assert!(
+                bc.same_bcc(&mut led, u, v),
+                "({u},{v}) in the big component"
+            );
         }
     }
     for &(u, v) in &[(1u32, 4u32), (5, 7), (5, 8), (7, 8)] {
@@ -161,7 +168,9 @@ fn figure2_bc_labeling_content() {
     assert!(!bc.same_bcc(&mut led, 7, 1));
     assert!(!bc.same_bcc(&mut led, 4, 7));
     // the paper's "implicit standard output": per-edge labels in O(1)
-    let l_edge: Vec<u32> = (0..g.m() as u32).map(|e| bc.edge_bcc(&mut led, e, &g)).collect();
+    let l_edge: Vec<u32> = (0..g.m() as u32)
+        .map(|e| bc.edge_bcc(&mut led, e, &g))
+        .collect();
     let bridge_eid = g.edges().iter().position(|&e| e == (1, 4)).unwrap();
     assert!(l_edge.iter().filter(|&&l| l == l_edge[bridge_eid]).count() == 1);
 }
@@ -185,10 +194,13 @@ fn figure3_local_graph_shape() {
     for ci in 0..oracle.decomposition().num_centers() as u32 {
         let (lg, _bcc) = oracle.local_of(&mut led, ci);
         assert!(lg.n_members >= 1);
-        assert!(wec::graph::props::is_connected(&wec::graph::Csr::from_edges(
-            lg.csr.n(),
-            lg.csr.edges()
-        )));
+        assert!(wec::graph::props::is_connected(
+            &wec::graph::Csr::from_edges(lg.csr.n(), lg.csr.edges())
+        ));
     }
-    assert_eq!(led.costs().asym_writes, w0, "local graphs are query-time, write-free");
+    assert_eq!(
+        led.costs().asym_writes,
+        w0,
+        "local graphs are query-time, write-free"
+    );
 }

@@ -34,15 +34,8 @@ fn all_connectivity_paths_agree_on_medium_graph() {
 
     let pri = Priorities::random(n, 11);
     let verts: Vec<Vertex> = (0..n as u32).collect();
-    let oracle = ConnectivityOracle::build(
-        &mut led,
-        &g,
-        &pri,
-        &verts,
-        8,
-        5,
-        OracleBuildOpts::default(),
-    );
+    let oracle =
+        ConnectivityOracle::build(&mut led, &g, &pri, &verts, 8, 5, OracleBuildOpts::default());
     for step in [37usize, 113] {
         for u in (0..n).step_by(step) {
             for v in (0..n).step_by(step * 2 + 1) {
@@ -72,16 +65,34 @@ fn biconnectivity_representations_agree_on_medium_graph() {
     // three-way agreement on articulation points & bridges
     for v in 0..n as u32 {
         let expect = ht.articulation[v as usize];
-        assert_eq!(bc.is_articulation(&mut led, v), expect, "labeling artic({v})");
-        assert_eq!(oracle.is_articulation(&mut led, v), expect, "oracle artic({v})");
+        assert_eq!(
+            bc.is_articulation(&mut led, v),
+            expect,
+            "labeling artic({v})"
+        );
+        assert_eq!(
+            oracle.is_articulation(&mut led, v),
+            expect,
+            "oracle artic({v})"
+        );
     }
     for (eid, &(u, v)) in g.edges().iter().enumerate() {
         let expect = ht.bridge[eid];
-        assert_eq!(bc.is_bridge(&mut led, eid as u32, &g), expect, "labeling bridge({u},{v})");
-        assert_eq!(oracle.is_bridge(&mut led, u, v), expect, "oracle bridge({u},{v})");
+        assert_eq!(
+            bc.is_bridge(&mut led, eid as u32, &g),
+            expect,
+            "labeling bridge({u},{v})"
+        );
+        assert_eq!(
+            oracle.is_bridge(&mut led, u, v),
+            expect,
+            "oracle bridge({u},{v})"
+        );
     }
     // edge-BCC partitions all equivalent
-    let ours_bc: Vec<u32> = (0..g.m() as u32).map(|e| bc.edge_bcc(&mut led, e, &g)).collect();
+    let ours_bc: Vec<u32> = (0..g.m() as u32)
+        .map(|e| bc.edge_bcc(&mut led, e, &g))
+        .collect();
     assert!(unionfind::same_partition(&ours_bc, &ht.edge_bcc));
     use std::collections::HashMap;
     let mut map: HashMap<wec::biconnectivity::oracle::BccId, u32> = HashMap::new();
@@ -89,7 +100,10 @@ fn biconnectivity_representations_agree_on_medium_graph() {
         let id = oracle.edge_bcc(&mut led, u, v);
         let prev = map.insert(id, ht.edge_bcc[eid]);
         if let Some(p) = prev {
-            assert_eq!(p, ht.edge_bcc[eid], "oracle BCC id split/merge at edge ({u},{v})");
+            assert_eq!(
+                p, ht.edge_bcc[eid],
+                "oracle BCC id split/merge at edge ({u},{v})"
+            );
         }
     }
     assert_eq!(

@@ -1,8 +1,14 @@
-//! Property-based tests (proptest) over random graph structures: the
-//! decomposition invariants and both oracles against brute force, under
-//! arbitrary seeds, sizes, densities, and k.
+//! Property-based tests over random graph structures: the decomposition
+//! invariants and both oracles against brute force, under arbitrary seeds,
+//! sizes, densities, and k.
+//!
+//! The offline build has no proptest, so cases are driven by a seeded
+//! [`rand::rngs::SmallRng`] loop: every case prints enough context in its
+//! assertion message to replay (`case` index + derived seed), which is the
+//! shrinking-free equivalent of what the original proptest harness gave us.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use wec::asym::Ledger;
 use wec::baseline::{brute, unionfind};
 use wec::biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
@@ -10,27 +16,33 @@ use wec::connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
 use wec::core::{BuildOpts, ImplicitDecomposition};
 use wec::graph::{Csr, Priorities, Vertex};
 
-/// Strategy: a random graph with n in [2, 28] and a random edge list
-/// (dedup'd by the builder), plus seeds.
-fn graph_strategy() -> impl Strategy<Value = (Csr, u64)> {
-    (2usize..28, any::<u64>()).prop_flat_map(|(n, seed)| {
-        let max_m = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m.min(40))
-            .prop_map(move |edges| (Csr::from_edges(n, &edges), seed))
-    })
+const CASES: usize = 48;
+
+/// A random graph with n in [2, 28] and a random (possibly degenerate)
+/// edge list — self-loops and duplicates are exercised on purpose; the
+/// builder canonicalizes them.
+fn random_graph(rng: &mut SmallRng) -> (Csr, u64) {
+    let n = rng.gen_range(2usize..28);
+    let max_m = (n * (n - 1) / 2).min(40);
+    let m = rng.gen_range(0usize..=max_m);
+    let edges: Vec<(Vertex, Vertex)> = (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    (Csr::from_edges(n, &edges), rng.gen::<u64>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn decomposition_is_a_valid_partition((g, seed) in graph_strategy(), k in 1usize..8) {
+#[test]
+fn decomposition_is_a_valid_partition() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0001);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let k = rng.gen_range(1usize..8);
         let n = g.n();
         let pri = Priorities::random(n, seed);
         let verts: Vec<Vertex> = (0..n as u32).collect();
         let mut led = Ledger::new(16);
-        let d = ImplicitDecomposition::build(
-            &mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
+        let d =
+            ImplicitDecomposition::build(&mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
         let mut count = 0usize;
         let mut by_center: std::collections::HashMap<u32, Vec<u32>> = Default::default();
         for v in 0..n as u32 {
@@ -38,72 +50,124 @@ proptest! {
             by_center.entry(a.center.vertex()).or_default().push(v);
             count += 1;
         }
-        prop_assert_eq!(count, n);
+        assert_eq!(count, n, "case {case} seed {seed}");
         for (c, members) in by_center {
-            prop_assert!(members.len() <= k, "cluster {} size {}", c, members.len());
-            prop_assert!(wec::graph::props::induced_connected(&g, &members));
+            assert!(
+                members.len() <= k,
+                "case {case} seed {seed} k {k}: cluster {c} size {}",
+                members.len()
+            );
+            assert!(
+                wec::graph::props::induced_connected(&g, &members),
+                "case {case} seed {seed}: cluster {c} disconnected"
+            );
         }
     }
+}
 
-    #[test]
-    fn section42_connectivity_matches_union_find((g, seed) in graph_strategy(), beta_inv in 1u64..32) {
+#[test]
+fn section42_connectivity_matches_union_find() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0002);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let beta_inv = rng.gen_range(1u64..32);
         let mut led = Ledger::new(16);
         let r = connectivity_csr(&mut led, &g, 1.0 / beta_inv as f64, seed);
-        prop_assert!(unionfind::same_partition(&r.labels, &unionfind::uf_labels(&g)));
+        assert!(
+            unionfind::same_partition(&r.labels, &unionfind::uf_labels(&g)),
+            "case {case} seed {seed} beta 1/{beta_inv}"
+        );
     }
+}
 
-    #[test]
-    fn connectivity_oracle_matches_brute((g, seed) in graph_strategy(), k in 2usize..6) {
+#[test]
+fn connectivity_oracle_matches_brute() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0003);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let k = rng.gen_range(2usize..6);
         let n = g.n();
         let pri = Priorities::random(n, seed ^ 1);
         let verts: Vec<Vertex> = (0..n as u32).collect();
         let mut led = Ledger::new((k * k) as u64);
         let oracle = ConnectivityOracle::build(
-            &mut led, &g, &pri, &verts, k, seed, OracleBuildOpts::default());
+            &mut led,
+            &g,
+            &pri,
+            &verts,
+            k,
+            seed,
+            OracleBuildOpts::default(),
+        );
         for u in 0..n as u32 {
             for v in 0..n as u32 {
-                prop_assert_eq!(oracle.connected(&mut led, u, v), brute::connected(&g, u, v),
-                    "connected({},{})", u, v);
+                assert_eq!(
+                    oracle.connected(&mut led, u, v),
+                    brute::connected(&g, u, v),
+                    "case {case} seed {seed} k {k}: connected({u},{v})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn bc_labeling_matches_brute((g, seed) in graph_strategy()) {
+#[test]
+fn bc_labeling_matches_brute() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0004);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
         let mut led = Ledger::new(16);
         let bc = bc_labeling(&mut led, &g, 0.25, seed);
         let artic = brute::articulation_points(&g);
         let bridges = brute::bridges(&g);
         for v in 0..g.n() as u32 {
-            prop_assert_eq!(bc.is_articulation(&mut led, v), artic[v as usize], "artic {}", v);
+            assert_eq!(
+                bc.is_articulation(&mut led, v),
+                artic[v as usize],
+                "case {case} seed {seed}: artic {v}"
+            );
         }
         for e in 0..g.m() as u32 {
-            prop_assert_eq!(bc.is_bridge(&mut led, e, &g), bridges[e as usize], "bridge {}", e);
+            assert_eq!(
+                bc.is_bridge(&mut led, e, &g),
+                bridges[e as usize],
+                "case {case} seed {seed}: bridge {e}"
+            );
         }
     }
+}
 
-    #[test]
-    fn biconnectivity_oracle_matches_brute((g, seed) in graph_strategy(), k in 2usize..6) {
+#[test]
+fn biconnectivity_oracle_matches_brute() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0005);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let k = rng.gen_range(2usize..6);
         let n = g.n();
         let pri = Priorities::random(n, seed ^ 2);
         let verts: Vec<Vertex> = (0..n as u32).collect();
         let mut led = Ledger::new((k * k) as u64);
-        let oracle = build_biconnectivity_oracle(
-            &mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
+        let oracle =
+            build_biconnectivity_oracle(&mut led, &g, &pri, &verts, k, seed, BuildOpts::default());
         for v in 0..n as u32 {
-            prop_assert_eq!(
+            assert_eq!(
                 oracle.is_articulation(&mut led, v),
                 brute::articulation_points(&g)[v as usize],
-                "articulation({})", v);
+                "case {case} seed {seed} k {k}: articulation({v})"
+            );
         }
         for u in (0..n as u32).step_by(2) {
             for v in (1..n as u32).step_by(3) {
-                prop_assert_eq!(oracle.biconnected(&mut led, u, v), brute::same_bcc(&g, u, v),
-                    "biconnected({},{})", u, v);
-                prop_assert_eq!(
+                assert_eq!(
+                    oracle.biconnected(&mut led, u, v),
+                    brute::same_bcc(&g, u, v),
+                    "case {case} seed {seed} k {k}: biconnected({u},{v})"
+                );
+                assert_eq!(
                     oracle.two_edge_connected(&mut led, u, v),
                     brute::two_edge_connected(&g, u, v),
-                    "2ec({},{})", u, v);
+                    "case {case} seed {seed} k {k}: 2ec({u},{v})"
+                );
             }
         }
     }

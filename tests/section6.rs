@@ -13,7 +13,9 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::graph::{gen, BoundedDegreeView, Csr, GraphView, Priorities, Vertex};
 
 fn view_vertices(view: &BoundedDegreeView) -> Vec<Vertex> {
-    (0..view.n() as u32).filter(|&v| view.is_vertex(v)).collect()
+    (0..view.n() as u32)
+        .filter(|&v| view.is_vertex(v))
+        .collect()
 }
 
 #[test]
@@ -21,7 +23,10 @@ fn connectivity_oracle_over_the_view_matches_original() {
     for (g, seed) in [
         (gen::star(80), 1u64),
         (gen::chung_lu(150, 400, 2.3, 5), 2),
-        (gen::disjoint_union(&[&gen::complete(12), &gen::star(30), &gen::path(9)]), 3),
+        (
+            gen::disjoint_union(&[&gen::complete(12), &gen::star(30), &gen::path(9)]),
+            3,
+        ),
     ] {
         let view = BoundedDegreeView::new(&g, 4);
         let verts = view_vertices(&view);
@@ -57,7 +62,10 @@ fn view_queries_stay_write_free_and_bounded() {
     let mut led = Ledger::new(16);
     // neighbor enumeration over the view never writes
     let mut out = Vec::new();
-    for v in (0..view.n() as u32).filter(|&v| view.is_vertex(v)).take(600) {
+    for v in (0..view.n() as u32)
+        .filter(|&v| view.is_vertex(v))
+        .take(600)
+    {
         out.clear();
         view.neighbors_into(&mut led, v, &mut out);
         assert!(out.len() <= 4, "degree cap violated at {v}");
@@ -96,9 +104,8 @@ fn bridges_preserved_through_the_view() {
         let bridges_g = brute::bridges(&g);
         for (eid, &(u, v)) in g.edges().iter().enumerate() {
             let (a, b) = view.edge_image(&mut led, u, v);
-            let img_eid = gp
-                .neighbor_edge_ids(a)[gp.arc_position(a, b).expect("image edge exists")]
-                as usize;
+            let img_eid =
+                gp.neighbor_edge_ids(a)[gp.arc_position(a, b).expect("image edge exists")] as usize;
             let img_bridge = brute::bridges(&gp)[img_eid];
             assert_eq!(
                 bridges_g[eid], img_bridge,
@@ -108,34 +115,56 @@ fn bridges_preserved_through_the_view() {
     }
 }
 
+/// Pairwise 2-edge-connectivity survives the view **one way only**: two
+/// edge-disjoint paths in `G'` contract to two edge-disjoint paths in `G`,
+/// so `2ec(G', u, v) ⇒ 2ec(G, u, v)` for original vertices. The converse is
+/// *false* in general — two edge-disjoint `G`-paths through a high-degree
+/// vertex can collide on a shared virtual-tree edge in `G'` when their slots
+/// sit under the same subtree (same mechanism as the vertex-biconnectivity
+/// limitation below). Per-edge *bridge* status is still preserved exactly
+/// (previous test).
 #[test]
-fn two_edge_connectivity_preserved_for_original_vertices() {
-    let g = gen::add_random_edges(&gen::star(16), 6, 2);
-    let view = BoundedDegreeView::new(&g, 4);
-    let mut led = Ledger::new(8);
-    let mut edges = Vec::new();
-    let mut nbrs = Vec::new();
-    for v in 0..view.n() as u32 {
-        if view.is_vertex(v) {
-            nbrs.clear();
-            view.neighbors_into(&mut led, v, &mut nbrs);
-            for &w in &nbrs {
-                if v < w {
-                    edges.push((v, w));
+fn two_edge_connectivity_view_implies_original() {
+    let mut false_negatives = 0usize;
+    let mut pairs = 0usize;
+    for seed in 0..4u64 {
+        let g = gen::add_random_edges(&gen::star(16), 6, seed);
+        let view = BoundedDegreeView::new(&g, 4);
+        let mut led = Ledger::new(8);
+        let mut edges = Vec::new();
+        let mut nbrs = Vec::new();
+        for v in 0..view.n() as u32 {
+            if view.is_vertex(v) {
+                nbrs.clear();
+                view.neighbors_into(&mut led, v, &mut nbrs);
+                for &w in &nbrs {
+                    if v < w {
+                        edges.push((v, w));
+                    }
                 }
             }
         }
-    }
-    let gp = Csr::from_edges(view.n(), &edges);
-    for u in 0..g.n() as u32 {
-        for v in (u + 1)..g.n() as u32 {
-            assert_eq!(
-                brute::two_edge_connected(&g, u, v),
-                brute::two_edge_connected(&gp, u, v),
-                "2ec({u},{v}) through the view"
-            );
+        let gp = Csr::from_edges(view.n(), &edges);
+        for u in 0..g.n() as u32 {
+            for v in (u + 1)..g.n() as u32 {
+                pairs += 1;
+                let in_g = brute::two_edge_connected(&g, u, v);
+                let in_view = brute::two_edge_connected(&gp, u, v);
+                assert!(
+                    !in_view || in_g,
+                    "view must never invent 2ec: ({u},{v}) seed {seed}"
+                );
+                false_negatives += usize::from(in_g && !in_view);
+            }
         }
     }
+    // The lossy direction exists — star-plus-chords graphs interleave slots
+    // through the high-degree center often — but a gross regression of the
+    // transformation (e.g. disconnecting trees) would lose far more.
+    assert!(
+        false_negatives * 4 <= pairs,
+        "view lost 2ec on {false_negatives}/{pairs} pairs — transformation regressed"
+    );
 }
 
 /// **Documented limitation** (DESIGN.md §1, `bounded.rs` docs): the §6
@@ -150,7 +179,10 @@ fn vertex_biconnectivity_counterexample_is_real() {
     // the two BCCs {4,0,2} and {4,1,3} interleave across 4's edge slots,
     // so the virtual tree's leaves {0,1} and {2,3} each straddle both.
     let g = Csr::from_edges(5, &[(4, 0), (4, 1), (4, 2), (4, 3), (0, 2), (1, 3)]);
-    assert!(!brute::same_bcc(&g, 0, 1), "ground truth: 0 and 1 are not biconnected in G");
+    assert!(
+        !brute::same_bcc(&g, 0, 1),
+        "ground truth: 0 and 1 are not biconnected in G"
+    );
     let view = BoundedDegreeView::new(&g, 3);
     let mut led = Ledger::new(8);
     let mut edges = Vec::new();
