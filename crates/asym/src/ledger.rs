@@ -607,6 +607,65 @@ impl Charge for LedgerScope {
     }
 }
 
+/// A deferred cost tally for **read-mostly batch passes** (oracle query
+/// serving, scans that rarely write): the pass notes per-item charges into
+/// plain counters — no ledger traffic, no depth updates per item — and
+/// flushes the total into a [`Charge`] sink once, at the point where the
+/// batch is accounted.
+///
+/// Because `read(n)`/`write(n)`/`op(n)` are linear in `n`, one flush of the
+/// summed tally charges *exactly* what the equivalent per-item calls would
+/// have charged (same `Costs`, same depth contribution), so deferring
+/// through a tally never perturbs the split/merge ledger contract — it only
+/// removes per-item accounting overhead from the hot loop.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CostTally {
+    acc: Costs,
+}
+
+impl CostTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note `n` asymmetric-memory reads.
+    #[inline]
+    pub fn note_reads(&mut self, n: u64) {
+        self.acc.asym_reads += n;
+    }
+
+    /// Note `n` asymmetric-memory writes.
+    #[inline]
+    pub fn note_writes(&mut self, n: u64) {
+        self.acc.asym_writes += n;
+    }
+
+    /// Note `n` unit-cost operations.
+    #[inline]
+    pub fn note_ops(&mut self, n: u64) {
+        self.acc.sym_ops += n;
+    }
+
+    /// Note a pre-tallied [`Costs`] delta.
+    #[inline]
+    pub fn note(&mut self, c: Costs) {
+        self.acc += c;
+    }
+
+    /// The accumulated (not yet flushed) counters.
+    #[inline]
+    pub fn pending(&self) -> Costs {
+        self.acc
+    }
+
+    /// Charge the accumulated counters into `sink` and reset the tally.
+    pub fn flush(&mut self, sink: &mut impl Charge) {
+        sink.charge(self.acc);
+        self.acc = Costs::ZERO;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,5 +977,46 @@ mod tests {
     #[should_panic(expected = "omega must be at least 1")]
     fn zero_omega_rejected() {
         let _ = Ledger::new(0);
+    }
+
+    #[test]
+    fn cost_tally_flush_equals_direct_charges() {
+        let mut tally = CostTally::new();
+        for _ in 0..100 {
+            tally.note_reads(2);
+            tally.note_ops(1);
+        }
+        tally.note_writes(3);
+        tally.note(Costs {
+            asym_reads: 1,
+            asym_writes: 0,
+            sym_ops: 4,
+        });
+        assert_eq!(
+            tally.pending(),
+            Costs {
+                asym_reads: 201,
+                asym_writes: 3,
+                sym_ops: 104
+            }
+        );
+        let mut via_tally = Ledger::new(8);
+        tally.flush(&mut via_tally);
+        assert_eq!(tally.pending(), Costs::ZERO, "flush resets the tally");
+        let mut direct = Ledger::new(8);
+        direct.read(201);
+        direct.write(3);
+        direct.op(104);
+        assert_eq!(via_tally.costs(), direct.costs());
+        assert_eq!(via_tally.depth(), direct.depth());
+        // Flushing into a scope charges identically.
+        let mut scope = Ledger::new(8).scope();
+        let mut tally2 = CostTally::new();
+        tally2.note_reads(201);
+        tally2.note_writes(3);
+        tally2.note_ops(104);
+        tally2.flush(&mut scope);
+        assert_eq!(scope.costs(), direct.costs());
+        assert_eq!(scope.depth(), direct.depth());
     }
 }

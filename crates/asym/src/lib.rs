@@ -30,6 +30,8 @@
 //!   counter scopes merged deterministically (work sums, depth maxes) so
 //!   parallel and sequential execution produce bit-identical costs. The
 //!   full contract is documented in the [`ledger`] module.
+//! * [`CostTally`] — a deferred tally for read-mostly batch passes (query
+//!   serving): note per-item charges into plain counters, flush once.
 //! * [`AsymArray`], [`AsymAtomicBitmap`] — asymmetric-memory containers that
 //!   charge the ledger on access.
 //! * [`FxHashMap`]/[`FxHashSet`] — a local implementation of the FxHash
@@ -45,7 +47,7 @@ pub mod report;
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ledger::{Charge, Ledger, LedgerScope};
+pub use ledger::{Charge, CostTally, Ledger, LedgerScope};
 pub use report::CostReport;
 
 /// Default write-cost multiplier used by examples and tests when nothing

@@ -1,0 +1,177 @@
+//! Wall-clock throughput of the `wec-serve` sharded batch-query layer.
+//!
+//! Builds both sublinear-write oracles once, then sweeps batch size ×
+//! shard count over connectivity batches (the paper's cheap `O(√ω)`
+//! queries), measuring batches/sec and queries/sec per grid point, plus
+//! one mixed batch (all four query kinds) at the largest configuration.
+//! Writes the machine-readable `BENCH_PR2.json` (override the path with
+//! `WEC_SERVE_BENCH_OUT`) whose `query_throughput_per_sec` /
+//! `batch_throughput_per_sec` keys CI's bench-regression guard validates.
+//! Pass `--smoke` for the CI-sized run.
+
+use wec_asym::Ledger;
+use wec_bench::{time_median, ServeSnapshot, ServeSweepPoint};
+use wec_biconnectivity::oracle::build_biconnectivity_oracle;
+use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+use wec_core::BuildOpts;
+use wec_graph::{gen, Priorities, Vertex};
+use wec_serve::{Query, ShardedServer};
+
+const OMEGA: u64 = 64;
+
+/// Deterministic query stream: Weyl-sequence vertex pairs over `n`.
+fn conn_batch(n: u32, size: usize, salt: u32) -> Vec<Query> {
+    let mut v = salt;
+    (0..size)
+        .map(|_| {
+            v = v.wrapping_mul(2654435761).wrapping_add(12345);
+            let a = v % n;
+            let b = (v >> 16).wrapping_add(a) % n;
+            if v.is_multiple_of(5) {
+                Query::Component(a)
+            } else {
+                Query::Connected(a, b)
+            }
+        })
+        .collect()
+}
+
+fn mixed_batch(n: u32, size: usize, salt: u32) -> Vec<Query> {
+    let mut v = salt;
+    (0..size)
+        .map(|i| {
+            v = v.wrapping_mul(2654435761).wrapping_add(98765);
+            let a = v % n;
+            let b = (v >> 13).wrapping_add(a + 1) % n;
+            match i % 4 {
+                0 => Query::Connected(a, b),
+                1 => Query::Component(a),
+                2 => Query::TwoEdgeConnected(a, b),
+                _ => Query::Biconnected(a, b),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, batch_sizes, shard_counts, iters, mixed_size): (
+        usize,
+        &[usize],
+        &[usize],
+        usize,
+        usize,
+    ) = if smoke {
+        (2000, &[64, 512], &[1, 2, 4], 3, 64)
+    } else {
+        (60_000, &[256, 4096, 32_768], &[1, 2, 4, 8, 16], 5, 512)
+    };
+
+    println!(
+        "=== wec-serve throughput sweep (threads = {}, ω = {OMEGA}, n = {n}) ===",
+        rayon::current_num_threads()
+    );
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 42);
+    let pri = Priorities::random(n, 42);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let k = 8usize;
+    let opts = OracleBuildOpts {
+        decomp: BuildOpts {
+            parallel: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut led = Ledger::new(OMEGA);
+    let conn = ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, opts);
+    let bicon = build_biconnectivity_oracle(&mut led, &g, &pri, &verts, k, 1, opts.decomp);
+    println!(
+        "oracle builds done: {} writes, {} operations",
+        led.costs().asym_writes,
+        led.costs().operations()
+    );
+
+    let mut sweep = Vec::new();
+    println!(
+        "{:>10} {:>7} {:>14} {:>16} {:>16}",
+        "batch", "shards", "ms/batch", "batches/s", "queries/s"
+    );
+    for &batch_size in batch_sizes {
+        let batch = conn_batch(n as u32, batch_size, 7);
+        for &shards in shard_counts {
+            let server = ShardedServer::new(conn.query_handle(), shards);
+            let secs = time_median(iters, || {
+                let mut ql = Ledger::new(OMEGA);
+                let answers = server.serve(&mut ql, &batch);
+                assert_eq!(answers.len(), batch.len());
+            });
+            let point = ServeSweepPoint {
+                batch_size: batch_size as u64,
+                shards: shards as u64,
+                seconds_per_batch: secs,
+                batch_throughput_per_sec: if secs > 0.0 {
+                    1.0 / secs
+                } else {
+                    f64::INFINITY
+                },
+                query_throughput_per_sec: if secs > 0.0 {
+                    batch_size as f64 / secs
+                } else {
+                    f64::INFINITY
+                },
+            };
+            println!(
+                "{:>10} {:>7} {:>14.3} {:>16.1} {:>16.0}",
+                batch_size,
+                shards,
+                1e3 * secs,
+                point.batch_throughput_per_sec,
+                point.query_throughput_per_sec
+            );
+            sweep.push(point);
+        }
+    }
+
+    // One mixed batch at the widest shard count: exercises the O(ω)
+    // biconnectivity-class queries through the same front end.
+    let shards = *shard_counts.last().unwrap();
+    let server =
+        ShardedServer::new(conn.query_handle(), shards).with_biconnectivity(bicon.query_handle());
+    let mbatch = mixed_batch(n as u32, mixed_size, 3);
+    let msecs = time_median(iters, || {
+        let mut ql = Ledger::new(OMEGA);
+        let answers = server.serve(&mut ql, &mbatch);
+        assert_eq!(answers.len(), mbatch.len());
+    });
+    let mixed_qps = if msecs > 0.0 {
+        mixed_size as f64 / msecs
+    } else {
+        f64::INFINITY
+    };
+    println!("mixed batch ({mixed_size} queries, {shards} shards): {mixed_qps:.0} queries/s");
+
+    let peak_q = sweep
+        .iter()
+        .map(|p| p.query_throughput_per_sec)
+        .fold(0.0f64, f64::max);
+    let peak_b = sweep
+        .iter()
+        .map(|p| p.batch_throughput_per_sec)
+        .fold(0.0f64, f64::max);
+    let snap = ServeSnapshot {
+        pr: 2,
+        threads: rayon::current_num_threads() as u64,
+        omega: OMEGA,
+        n: n as u64,
+        m: g.m() as u64,
+        sweep,
+        query_throughput_per_sec: peak_q,
+        batch_throughput_per_sec: peak_b,
+        mixed_query_throughput_per_sec: mixed_qps,
+    };
+    match snap.write("BENCH_PR2.json") {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_PR2.json: {e}"),
+    }
+}

@@ -17,7 +17,9 @@
 //! | `unbounded` | Section 6 — oracles through the bounded-degree view |
 //! | `ablation` | seq vs parallel Algorithm 1, center-count overheads |
 //!
-//! Criterion wall-clock benches live in `benches/`.
+//! Beyond the paper's artifacts, `serve_bench` wall-clocks the `wec-serve`
+//! sharded batch-query layer (batch size × shard count sweep) and emits
+//! `BENCH_PR2.json`. Criterion wall-clock benches live in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -137,6 +139,93 @@ impl BenchSnapshot {
     /// Write the snapshot to `path` (or the `WEC_BENCH_OUT` override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured point of the serving sweep: a fixed batch size served over
+/// a fixed shard count.
+#[derive(Debug, Clone)]
+pub struct ServeSweepPoint {
+    /// Queries per batch.
+    pub batch_size: u64,
+    /// Shards the batch was partitioned into.
+    pub shards: u64,
+    /// Median wall-clock seconds to serve one batch.
+    pub seconds_per_batch: f64,
+    /// Batches served per second (`1 / seconds_per_batch`).
+    pub batch_throughput_per_sec: f64,
+    /// Queries answered per second (`batch_size / seconds_per_batch`).
+    pub query_throughput_per_sec: f64,
+}
+
+impl ServeSweepPoint {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("batch_size", self.batch_size)
+            .num("shards", self.shards)
+            .float("seconds_per_batch", self.seconds_per_batch)
+            .float("batch_throughput_per_sec", self.batch_throughput_per_sec)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .finish()
+    }
+}
+
+/// The machine-readable serving-layer snapshot (`BENCH_PR2.json`): a batch
+/// size × shard count throughput sweep plus the peak rates, so later PRs
+/// have a serving trajectory to beat. The top-level
+/// `query_throughput_per_sec` / `batch_throughput_per_sec` keys are the
+/// schema CI's bench-regression guard validates.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// The full sweep grid.
+    pub sweep: Vec<ServeSweepPoint>,
+    /// Peak queries/sec across the sweep.
+    pub query_throughput_per_sec: f64,
+    /// Peak batches/sec across the sweep.
+    pub batch_throughput_per_sec: f64,
+    /// Queries/sec of a mixed batch (connectivity + biconnectivity kinds)
+    /// at the largest sweep configuration.
+    pub mixed_query_throughput_per_sec: f64,
+}
+
+impl ServeSnapshot {
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .raw(
+                "sweep",
+                &json::array(self.sweep.iter().map(|p| p.to_json())),
+            )
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("batch_throughput_per_sec", self.batch_throughput_per_sec)
+            .float(
+                "mixed_query_throughput_per_sec",
+                self.mixed_query_throughput_per_sec,
+            )
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_SERVE_BENCH_OUT` override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_SERVE_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

@@ -19,6 +19,6 @@ pub mod oracle;
 pub mod par;
 pub mod spanning;
 
-pub use oracle::{ComponentId, ConnectivityOracle, OracleBuildOpts};
+pub use oracle::{ComponentId, ConnQueryHandle, ConnectivityOracle, OracleBuildOpts};
 pub use par::{connectivity_csr, connectivity_general, ConnResult};
 pub use spanning::root_forest;

@@ -170,12 +170,55 @@ impl<'a, G: GraphView> ConnectivityOracle<'a, G> {
         self.decomp.storage_words() + 2 * self.labels.len()
     }
 
+    /// A cheap copyable read-only view for serving queries, shareable
+    /// across shard workers (see `wec-serve`). All query entry points live
+    /// on the handle; the oracle's own query methods delegate to it.
+    pub fn query_handle(&self) -> ConnQueryHandle<'_, 'a, G> {
+        ConnQueryHandle { oracle: self }
+    }
+
     /// Component of `v`: O(k) expected operations, **no writes**.
     pub fn component(&self, led: &mut Ledger, v: Vertex) -> ComponentId {
-        match self.decomp.rho(led, v).center {
+        self.query_handle().component(led, v)
+    }
+
+    /// Whether `u` and `v` are connected: two `ρ` queries + label compare.
+    pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        self.query_handle().connected(led, u, v)
+    }
+}
+
+/// A borrowed, copyable query view over a built [`ConnectivityOracle`].
+///
+/// Queries are read-only (they re-derive `ρ` and compare stored labels), so
+/// any number of handles can serve concurrently from different shards, each
+/// charging its own [`Ledger`] / [`wec_asym::LedgerScope`]. The handle is
+/// `Copy` and one word wide — cloning it costs nothing and implies no model
+/// charges.
+pub struct ConnQueryHandle<'o, 'g, G: GraphView> {
+    oracle: &'o ConnectivityOracle<'g, G>,
+}
+
+impl<G: GraphView> Clone for ConnQueryHandle<'_, '_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<G: GraphView> Copy for ConnQueryHandle<'_, '_, G> {}
+
+impl<'o, 'g, G: GraphView> ConnQueryHandle<'o, 'g, G> {
+    /// The oracle this handle serves from.
+    pub fn oracle(&self) -> &'o ConnectivityOracle<'g, G> {
+        self.oracle
+    }
+
+    /// Component of `v`: O(k) expected operations, **no writes**.
+    pub fn component(&self, led: &mut Ledger, v: Vertex) -> ComponentId {
+        match self.oracle.decomp.rho(led, v).center {
             Center::Stored(c) => {
                 led.read(1);
-                ComponentId::Labeled(self.labels[&c])
+                ComponentId::Labeled(self.oracle.labels[&c])
             }
             Center::ImplicitMin(c) => ComponentId::Implicit(c),
         }

@@ -33,6 +33,10 @@ pub const UNREACHED: u32 = u32::MAX;
 /// accounting).
 const FRONTIER_GRAIN: usize = 128;
 
+/// Chunk size for parallel injection-source claiming (fixed for
+/// deterministic accounting).
+const INJECT_GRAIN: usize = 128;
+
 /// Output of a (multi-source) BFS.
 #[derive(Debug, Clone)]
 pub struct BfsResult {
@@ -78,13 +82,15 @@ pub fn multi_bfs(led: &mut Ledger, g: &impl GraphView, sources: &[Vertex]) -> Bf
 
 /// The injection-driven BFS engine. See module docs for accounting.
 ///
-/// Frontier expansion is **deterministically parallel** via two-phase
-/// reservation (the priority-write technique of internally deterministic
-/// parallel algorithms): phase A proposes claims with an atomic
-/// `fetch_min` of the proposer's frontier position — commutative, so the
+/// Frontier expansion **and injection-source claiming** are
+/// deterministically parallel via two-phase reservation (the
+/// priority-write technique of internally deterministic parallel
+/// algorithms): phase A proposes claims with an atomic `fetch_min` of the
+/// proposer's frontier (or source-list) position — commutative, so the
 /// winner is the *minimum* position regardless of schedule — and phase B
-/// installs exactly the winners. The BFS forest, the next frontier's
-/// order, and every ledger charge are identical on one thread or many.
+/// installs exactly the winners. Frontier concatenation stays sequential
+/// per round. The BFS forest, the next frontier's order, and every ledger
+/// charge are identical on one thread or many.
 pub fn bfs_with_injection(
     led: &mut Ledger,
     g: &impl GraphView,
@@ -108,18 +114,65 @@ pub fn bfs_with_injection(
         if !done {
             let inj = inject(round, led);
             done = inj.done;
-            for s in inj.sources {
-                led.read(1); // check visited
-                if parent[s as usize]
-                    .compare_exchange(UNREACHED, s, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    led.write(3); // parent + source + level records
-                    source_of[s as usize].store(s, Ordering::Relaxed);
-                    level[s as usize].store(round as u32, Ordering::Relaxed);
-                    led.write(1); // frontier slot
-                    frontier.push(s);
-                    visited += 1;
+            let srcs = inj.sources;
+            if !srcs.is_empty() {
+                // Injection-source claiming is the same two-phase
+                // reservation as frontier expansion, so a large source wave
+                // (MPX hands whole δ-buckets at once) fans out over ledger
+                // scopes instead of serializing the round's head. Duplicate
+                // sources resolve to the *first occurrence* — exactly what
+                // the old sequential compare-exchange sweep produced.
+                let srcs_ref = &srcs;
+                let parent_ref = &parent;
+                let source_ref = &source_of;
+                let level_ref = &level;
+                let claim_ref = &claim;
+                let this_level = round as u32;
+                // Phase A — propose: check visitedness (charged read) and
+                // reserve still-unreached sources with fetch_min of the
+                // source position.
+                let proposals: Vec<Vec<(Vertex, u32)>> =
+                    led.scoped_par(srcs.len(), INJECT_GRAIN, &|r, s| {
+                        let mut mine = Vec::new();
+                        for i in r {
+                            let v = srcs_ref[i];
+                            s.read(1); // check visited
+                            if parent_ref[v as usize].load(Ordering::Relaxed) == UNREACHED {
+                                claim_ref[v as usize].fetch_min(i as u32, Ordering::Relaxed);
+                                mine.push((v, i as u32));
+                            }
+                        }
+                        mine
+                    });
+                // Phase B — install winners (reservation still carries the
+                // proposer's own position). Charges mirror frontier
+                // expansion: one unit op per proposal, and per winner the 3
+                // record words + frontier slot + winner-charged reservation
+                // write.
+                let parts: Vec<Vec<Vertex>> = led.scoped_par(proposals.len(), 1, &|r, s| {
+                    let mut out = Vec::new();
+                    for chunk in &proposals[r] {
+                        s.op(chunk.len() as u64);
+                        let won_before = out.len();
+                        for &(v, i) in chunk {
+                            if claim_ref[v as usize].load(Ordering::Relaxed) == i {
+                                parent_ref[v as usize].store(v, Ordering::Relaxed);
+                                source_ref[v as usize].store(v, Ordering::Relaxed);
+                                level_ref[v as usize].store(this_level, Ordering::Relaxed);
+                                out.push(v);
+                            }
+                        }
+                        s.write(5 * (out.len() - won_before) as u64);
+                    }
+                    out
+                });
+                // Frontier concatenation stays sequential (chunk order ⇒
+                // source order), same as the expansion's next-frontier
+                // concat.
+                led.op(parts.len() as u64);
+                for p in parts {
+                    visited += p.len();
+                    frontier.extend(p);
                 }
             }
         }
@@ -280,7 +333,8 @@ mod tests {
         let r = multi_bfs(&mut led, &g, &[0]);
         let writes = led.costs().asym_writes;
         // ≤ 5 writes per visited vertex (3 record words + frontier slot +
-        // winner-charged reservation slot; sources skip the reservation)
+        // winner-charged reservation slot — sources pay the same via the
+        // injection-claiming pass)
         assert!(
             writes <= 5 * r.visited as u64 + 64,
             "writes {writes} vs visited {}",
@@ -356,5 +410,37 @@ mod tests {
         let (v2, c2) = run(Ledger::sequential(8));
         assert_eq!(v1, v2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn injection_claiming_invariant_across_parallelism() {
+        // Multi-round injection waves with duplicates and already-visited
+        // vertices: the parallel injection-claiming pass must produce the
+        // same forest, frontier orders, and bit-identical charges as the
+        // sequential ledger.
+        let g = gnm(1200, 3000, 4);
+        let run = |mut led: Ledger| {
+            let r = bfs_with_injection(&mut led, &g, &mut |round, _| Injection {
+                // Big overlapping waves: vertices round*97 .. round*97+400,
+                // each listed twice, many already visited by earlier waves.
+                sources: (0..400u32)
+                    .flat_map(|i| {
+                        let v = (round as u32 * 97 + i) % 1200;
+                        [v, v]
+                    })
+                    .collect(),
+                done: round >= 3,
+            });
+            (
+                r.parent,
+                r.level,
+                r.source_of,
+                r.visited,
+                r.rounds,
+                led.costs(),
+                led.depth(),
+            )
+        };
+        assert_eq!(run(Ledger::new(8)), run(Ledger::sequential(8)));
     }
 }

@@ -1,0 +1,366 @@
+//! # wec-serve — sharded batch-query serving over the connectivity oracles
+//!
+//! The paper's asymmetry cuts one way: oracle *construction* is
+//! write-expensive, but *queries* are read-only and cheap (`O(√ω)` or
+//! `O(ω)` expected operations, **zero** asymmetric writes). That makes the
+//! query path embarrassingly parallel — the natural serving architecture is
+//! a batch front end that fans a query batch out across shards, answers
+//! every shard concurrently against shared read-only oracle state, and
+//! merges the accounting deterministically.
+//!
+//! [`ShardedServer`] is that front end. It wraps the copyable query handles
+//! of [`ConnectivityOracle`](wec_connectivity::ConnectivityOracle) and
+//! (optionally) [`BiconnectivityOracle`](wec_biconnectivity::BiconnectivityOracle)
+//! and serves [`Query`] batches, returning [`Answer`]s **in input order**.
+//!
+//! ## The shard/merge cost contract
+//!
+//! Serving rides on the split/merge ledger architecture (see the contract
+//! in `wec_asym`'s `ledger` module): a batch of `n` queries over `s` shards
+//! runs as one [`Ledger::scoped_par`] pass with chunk grain `⌈n/s⌉`, so
+//! each shard charges its own detached [`wec_asym::LedgerScope`] and the
+//! scopes merge in **shard index order** via `join_many` — never in
+//! execution order. Consequently, for a fixed shard count the merged
+//! `Costs`, depth, and symmetric-memory peak are **bit-identical** whether
+//! the shards ran on one thread or many.
+//!
+//! Exactly three kinds of charges occur, all of them accounted:
+//!
+//! 1. each query's own oracle charges (identical to calling the handle
+//!    directly with the same ledger);
+//! 2. [`QUERY_WORDS`] asymmetric reads per query for scanning the batch
+//!    input, tallied per shard through [`wec_asym::CostTally`] and flushed
+//!    once per shard (read-mostly batch accounting);
+//! 3. `scoped_par`'s documented scheduler bookkeeping:
+//!    `chunks − 1` unit operations of work and `⌈log₂ chunks⌉` depth,
+//!    where `chunks =` [`shard_chunks`]`(n, s)`.
+//!
+//! So batch serving with `s` shards charges exactly the `Costs` of
+//! sequential one-by-one serving (shards = 1) plus the `chunks − 1`
+//! bookkeeping operations — a delta that is a pure function of `(n, s)`.
+//! `tests/serving.rs` at the workspace root enforces both equalities across
+//! shard counts and thread counts.
+
+use wec_asym::{CostTally, Ledger};
+use wec_biconnectivity::BiconnQueryHandle;
+use wec_connectivity::{ComponentId, ConnQueryHandle};
+use wec_graph::{GraphView, Vertex};
+
+/// Asymmetric-memory words charged for reading one [`Query`] out of a
+/// batch: one word packs the discriminant with the first vertex, the
+/// second holds the other vertex.
+pub const QUERY_WORDS: u64 = 2;
+
+/// A single point query against the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Are `u` and `v` in the same connected component?
+    Connected(Vertex, Vertex),
+    /// Which component is `v` in?
+    Component(Vertex),
+    /// Are `u` and `v` 2-edge-connected? Requires a biconnectivity oracle.
+    TwoEdgeConnected(Vertex, Vertex),
+    /// Do `u` and `v` share a biconnected component? Requires a
+    /// biconnectivity oracle.
+    Biconnected(Vertex, Vertex),
+}
+
+/// The answer to one [`Query`], same position in the output batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Answer {
+    /// Answer to [`Query::Connected`].
+    Connected(bool),
+    /// Answer to [`Query::Component`].
+    Component(ComponentId),
+    /// Answer to [`Query::TwoEdgeConnected`].
+    TwoEdgeConnected(bool),
+    /// Answer to [`Query::Biconnected`].
+    Biconnected(bool),
+}
+
+impl Answer {
+    /// The boolean payload, for the three predicate query kinds.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Answer::Connected(b) | Answer::TwoEdgeConnected(b) | Answer::Biconnected(b) => Some(b),
+            Answer::Component(_) => None,
+        }
+    }
+}
+
+/// Number of `scoped_par` chunks a batch of `n` queries over `s` shards
+/// produces: `⌈n / ⌈n/s⌉⌉` (0 for an empty batch). Exposed because the
+/// serving cost contract's bookkeeping term (`chunks − 1` operations) is a
+/// function of this value.
+pub fn shard_chunks(n: usize, shards: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let grain = n.div_ceil(shards.max(1));
+    n.div_ceil(grain)
+}
+
+/// A sharded batch-query server over shared read-only oracle state.
+///
+/// Construction is free: the server holds only copyable borrowed handles
+/// and a shard count. See the module docs for the cost contract.
+pub struct ShardedServer<'o, 'g, G: GraphView> {
+    conn: ConnQueryHandle<'o, 'g, G>,
+    bicon: Option<BiconnQueryHandle<'o, 'g, G>>,
+    shards: usize,
+}
+
+impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
+    /// A server answering connectivity queries over `conn`, fanning each
+    /// batch out over `shards` shards (at least 1).
+    pub fn new(conn: ConnQueryHandle<'o, 'g, G>, shards: usize) -> Self {
+        ShardedServer {
+            conn,
+            bicon: None,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Additionally serve [`Query::TwoEdgeConnected`] / [`Query::Biconnected`]
+    /// from a biconnectivity oracle over the same graph.
+    pub fn with_biconnectivity(mut self, bicon: BiconnQueryHandle<'o, 'g, G>) -> Self {
+        self.bicon = Some(bicon);
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Answer one query exactly as a shard worker would, minus the batch
+    /// input-scan read ([`QUERY_WORDS`]) and scheduler bookkeeping.
+    ///
+    /// # Panics
+    /// On 2-edge-connectivity / biconnectivity queries when the server was
+    /// built without [`ShardedServer::with_biconnectivity`].
+    pub fn answer_one(&self, led: &mut Ledger, q: Query) -> Answer {
+        match q {
+            Query::Connected(u, v) => Answer::Connected(self.conn.connected(led, u, v)),
+            Query::Component(v) => Answer::Component(self.conn.component(led, v)),
+            Query::TwoEdgeConnected(u, v) => Answer::TwoEdgeConnected(
+                self.bicon
+                    .expect("server was built without a biconnectivity oracle")
+                    .two_edge_connected(led, u, v),
+            ),
+            Query::Biconnected(u, v) => Answer::Biconnected(
+                self.bicon
+                    .expect("server was built without a biconnectivity oracle")
+                    .biconnected(led, u, v),
+            ),
+        }
+    }
+
+    /// Serve a batch: partition it into [`shard_chunks`]`(batch.len(),
+    /// shards)` contiguous chunks, answer every chunk on its own ledger
+    /// scope (in parallel when `led` is parallel), and return the answers
+    /// in input order.
+    ///
+    /// # Panics
+    /// As [`ShardedServer::answer_one`], if the batch contains
+    /// biconnectivity-class queries and no biconnectivity oracle is
+    /// attached.
+    pub fn serve(&self, led: &mut Ledger, batch: &[Query]) -> Vec<Answer> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let grain = batch.len().div_ceil(self.shards);
+        let parts: Vec<Vec<Answer>> = led.scoped_par(batch.len(), grain, &|r, scope| {
+            // Read-mostly batch accounting: the shard's input scan is
+            // tallied locally and flushed as one bulk charge.
+            let mut tally = CostTally::new();
+            tally.note_reads(r.len() as u64 * QUERY_WORDS);
+            tally.flush(scope);
+            let mut out = Vec::with_capacity(r.len());
+            for &q in &batch[r] {
+                out.push(self.answer_one(scope.ledger(), q));
+            }
+            out
+        });
+        let mut answers = Vec::with_capacity(batch.len());
+        for p in parts {
+            answers.extend(p);
+        }
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_asym::Costs;
+    use wec_biconnectivity::oracle::build_biconnectivity_oracle;
+    use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+    use wec_core::BuildOpts;
+    use wec_graph::gen;
+    use wec_graph::{Csr, Priorities};
+
+    const OMEGA: u64 = 16;
+
+    fn build_graph() -> Csr {
+        gen::disjoint_union(&[
+            &gen::bounded_degree_connected(300, 4, 60, 3),
+            &gen::grid(5, 6),
+        ])
+    }
+
+    fn serve_all(shards: usize, parallel: bool) -> (Vec<Answer>, Costs, u64) {
+        let g = build_graph();
+        let n = g.n();
+        let pri = Priorities::random(n, 5);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(OMEGA);
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 4, 9, OracleBuildOpts::default());
+        let batch: Vec<Query> = (0..n as u32)
+            .map(|v| {
+                if v % 3 == 0 {
+                    Query::Component(v)
+                } else {
+                    Query::Connected(v, (v * 7 + 1) % n as u32)
+                }
+            })
+            .collect();
+        let server = ShardedServer::new(oracle.query_handle(), shards);
+        let mut qled = if parallel {
+            Ledger::new(OMEGA)
+        } else {
+            Ledger::sequential(OMEGA)
+        };
+        let answers = server.serve(&mut qled, &batch);
+        (answers, qled.costs(), qled.depth())
+    }
+
+    #[test]
+    fn answers_in_input_order_and_match_one_by_one() {
+        let g = build_graph();
+        let n = g.n();
+        let pri = Priorities::random(n, 5);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(OMEGA);
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 4, 9, OracleBuildOpts::default());
+        let batch: Vec<Query> = (0..n as u32)
+            .map(|v| Query::Connected(v, (v + 13) % n as u32))
+            .collect();
+        let server = ShardedServer::new(oracle.query_handle(), 5);
+        let mut qled = Ledger::new(OMEGA);
+        let got = server.serve(&mut qled, &batch);
+        assert_eq!(got.len(), batch.len());
+        let handle = oracle.query_handle();
+        for (i, q) in batch.iter().enumerate() {
+            let Query::Connected(u, v) = *q else {
+                unreachable!()
+            };
+            let mut one = Ledger::new(OMEGA);
+            assert_eq!(
+                got[i],
+                Answer::Connected(handle.connected(&mut one, u, v)),
+                "answer {i} out of order or wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn costs_bit_identical_parallel_vs_sequential() {
+        for shards in [1usize, 3, 8] {
+            let (a_ans, a_costs, a_depth) = serve_all(shards, true);
+            let (b_ans, b_costs, b_depth) = serve_all(shards, false);
+            assert_eq!(a_ans, b_ans, "answers differ (shards={shards})");
+            assert_eq!(a_costs, b_costs, "costs differ (shards={shards})");
+            assert_eq!(a_depth, b_depth, "depth differs (shards={shards})");
+        }
+    }
+
+    #[test]
+    fn shard_count_changes_costs_only_by_documented_bookkeeping() {
+        let (base_ans, base_costs, _) = serve_all(1, true);
+        let n = base_ans.len();
+        for shards in [2usize, 7] {
+            let (ans, costs, _) = serve_all(shards, true);
+            assert_eq!(ans, base_ans, "answers differ (shards={shards})");
+            let extra = shard_chunks(n, shards) as u64 - 1;
+            let mut expect = base_costs;
+            expect.sym_ops += extra;
+            assert_eq!(
+                costs, expect,
+                "costs differ beyond split bookkeeping (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_charges_nothing() {
+        let g = gen::grid(3, 3);
+        let pri = Priorities::random(9, 1);
+        let verts: Vec<Vertex> = (0..9).collect();
+        let mut led = Ledger::new(OMEGA);
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 2, 1, OracleBuildOpts::default());
+        let server = ShardedServer::new(oracle.query_handle(), 4);
+        let mut qled = Ledger::new(OMEGA);
+        assert!(server.serve(&mut qled, &[]).is_empty());
+        assert_eq!(qled.costs(), Costs::ZERO);
+    }
+
+    #[test]
+    fn biconnectivity_queries_served_when_attached() {
+        let g = gen::bounded_degree_connected(150, 4, 40, 8);
+        let n = g.n();
+        let pri = Priorities::random(n, 8);
+        let verts: Vec<Vertex> = (0..n as u32).collect();
+        let mut led = Ledger::new(OMEGA);
+        let conn =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 4, 2, OracleBuildOpts::default());
+        let bic =
+            build_biconnectivity_oracle(&mut led, &g, &pri, &verts, 4, 2, BuildOpts::default());
+        let server =
+            ShardedServer::new(conn.query_handle(), 3).with_biconnectivity(bic.query_handle());
+        let batch: Vec<Query> = (0..60u32)
+            .map(|i| match i % 4 {
+                0 => Query::Connected(i, (i + 31) % n as u32),
+                1 => Query::Component(i),
+                2 => Query::TwoEdgeConnected(i, (i + 17) % n as u32),
+                _ => Query::Biconnected(i, (i + 5) % n as u32),
+            })
+            .collect();
+        let mut qled = Ledger::new(OMEGA);
+        let answers = server.serve(&mut qled, &batch);
+        let w0 = qled.costs().asym_writes;
+        for (q, a) in batch.iter().zip(&answers) {
+            let mut one = Ledger::new(OMEGA);
+            assert_eq!(*a, server.answer_one(&mut one, *q));
+            assert_eq!(one.costs().asym_writes, 0, "queries must not write");
+        }
+        assert_eq!(qled.costs().asym_writes, w0, "serving must not write");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a biconnectivity oracle")]
+    fn biconnectivity_query_without_oracle_panics() {
+        let g = gen::grid(3, 3);
+        let pri = Priorities::random(9, 1);
+        let verts: Vec<Vertex> = (0..9).collect();
+        let mut led = Ledger::new(OMEGA);
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 2, 1, OracleBuildOpts::default());
+        let server = ShardedServer::new(oracle.query_handle(), 2);
+        let mut qled = Ledger::new(OMEGA);
+        let _ = server.serve(&mut qled, &[Query::Biconnected(0, 5)]);
+    }
+
+    #[test]
+    fn shard_chunks_formula() {
+        assert_eq!(shard_chunks(0, 4), 0);
+        assert_eq!(shard_chunks(10, 1), 1);
+        assert_eq!(shard_chunks(10, 2), 2);
+        assert_eq!(shard_chunks(10, 3), 3);
+        assert_eq!(shard_chunks(10, 7), 5); // grain 2 -> 5 chunks
+        assert_eq!(shard_chunks(3, 8), 3); // more shards than queries
+    }
+}

@@ -1,22 +1,36 @@
 //! Offline stand-in for the subset of `rayon` this workspace uses:
 //! [`join`] and [`current_num_threads`].
 //!
-//! The build environment has no registry access, so instead of the real
-//! work-stealing pool this shim runs the left branch of a `join` on a
-//! freshly spawned scoped thread whenever a *parallelism token* is
-//! available, and inline otherwise. Tokens are a global counter initialized
-//! to `threads − 1`, so at most `threads` branches ever run concurrently
-//! and nested joins degrade gracefully to sequential execution instead of
-//! oversubscribing.
+//! The build environment has no registry access, so instead of depending on
+//! the real work-stealing runtime this shim ships a small **persistent
+//! worker pool**: `threads − 1` long-lived workers block on a shared job
+//! queue, and [`join`] publishes its left branch as a *stack job* — a
+//! type-erased pointer to a frame on the caller's stack — then runs the
+//! right branch inline. When the caller finishes first and the job is still
+//! queued, it **reclaims** the job under the queue lock and runs it inline;
+//! otherwise it parks until the executing worker signals completion. Either
+//! way the job's memory outlives every reference to it, which is what makes
+//! the raw-pointer hand-off sound.
+//!
+//! A global token counter (initialized to `threads − 1`, the worker count)
+//! bounds the number of *outstanding* published jobs, so nested joins
+//! degrade gracefully to inline execution instead of flooding the queue,
+//! and the queue never holds more jobs than there are workers to take them.
+//! Compared to the previous scoped-thread-per-`join` design this removes
+//! the thread-spawn cost from every parallel fork, which is what makes
+//! grain-1 fan-outs (batch serving shards, secondary planting) affordable.
 //!
 //! Thread count resolution: the `WEC_THREADS` environment variable if set,
-//! otherwise [`std::thread::available_parallelism`]. Callers that chunk
-//! work at a sensible grain (thousands of elements per spawn) see spawn
-//! overhead of tens of microseconds per join, which is noise at those
-//! grains.
+//! otherwise [`std::thread::available_parallelism`]. With one thread the
+//! pool spawns no workers and every `join` runs inline.
 
-use std::sync::atomic::{AtomicIsize, Ordering};
-use std::sync::OnceLock;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
 
 static TOKENS: OnceLock<AtomicIsize> = OnceLock::new();
 
@@ -64,6 +78,155 @@ impl Drop for TokenGuard {
     }
 }
 
+/// A type-erased pointer to a [`StackJob`] on some caller's stack. The
+/// publishing `join` guarantees the frame stays alive until the job is
+/// either reclaimed or marked done, so shipping the raw pointer to a worker
+/// is sound.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// Safety: the pointee is a StackJob whose shared fields are only touched by
+// the single party that dequeued (or reclaimed) the job, serialized by the
+// queue mutex; completion is published through an Acquire/Release flag.
+unsafe impl Send for JobRef {}
+
+/// The left branch of a [`join`], living on the joiner's stack while a
+/// worker (or the joiner itself, on reclaim) executes it.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    done: AtomicBool,
+    owner: thread::Thread,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+            owner: thread::current(),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::execute,
+        }
+    }
+
+    /// Run the job and publish its result. Called exactly once, by whoever
+    /// ended up owning the job (a worker or the reclaiming joiner).
+    unsafe fn execute(data: *const ()) {
+        let job = &*(data as *const Self);
+        let func = (*job.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *job.result.get() = Some(result);
+        // The joiner may observe `done` and tear down the frame immediately
+        // (its wait loop polls the flag), so the store must be the last
+        // touch of the job's memory: unpark through a clone of the handle.
+        let owner = job.owner.clone();
+        job.done.store(true, Ordering::Release);
+        owner.unpark();
+    }
+
+    /// Block until a worker finishes the job: brief spin, then park (the
+    /// executor unparks the owner after setting the flag; the timeout only
+    /// guards against unpark races with unrelated wakeups).
+    fn wait_done(&self) {
+        let mut spins = 0u32;
+        while !self.done.load(Ordering::Acquire) {
+            if spins < 128 {
+                std::hint::spin_loop();
+                spins += 1;
+            } else {
+                thread::park_timeout(Duration::from_micros(100));
+            }
+        }
+    }
+
+    /// The published result; propagates the job's panic. Only valid after
+    /// `execute` happened-before this call.
+    fn into_result(self) -> R {
+        match self.result.into_inner() {
+            Some(Ok(r)) => r,
+            Some(Err(payload)) => panic::resume_unwind(payload),
+            None => unreachable!("job settled without a result"),
+        }
+    }
+}
+
+/// The shared queue the persistent workers serve.
+struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn push(&self, job: JobRef) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Remove `data`'s job from the queue if no worker has taken it yet.
+    fn try_reclaim(&self, data: *const ()) -> bool {
+        let mut q = self.queue.lock().unwrap();
+        if let Some(pos) = q.iter().position(|j| std::ptr::eq(j.data, data)) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            // The job catches its own panics, so the worker survives them.
+            unsafe { (job.exec)(job.data) };
+        }
+    }
+}
+
+/// The process-wide pool: `threads − 1` detached workers, spawned on first
+/// use. `None` when the configuration is single-threaded.
+fn pool() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<&'static Pool>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..workers {
+            thread::Builder::new()
+                .name(format!("wec-rayon-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawning pool worker");
+        }
+        Some(pool)
+    })
+}
+
 /// Run both closures, potentially in parallel, and return both results.
 ///
 /// Matches `rayon::join`'s contract: `oper_a` and `oper_b` may run on
@@ -75,18 +238,37 @@ where
     RA: Send,
     RB: Send,
 {
+    let Some(pool) = pool() else {
+        return (oper_a(), oper_b());
+    };
     if !try_acquire() {
         return (oper_a(), oper_b());
     }
-    let _guard = TokenGuard;
-    std::thread::scope(|s| {
-        let ha = s.spawn(oper_a);
-        let rb = oper_b();
-        match ha.join() {
-            Ok(ra) => (ra, rb),
-            Err(payload) => std::panic::resume_unwind(payload),
+    let _token = TokenGuard;
+    let job = StackJob::new(oper_a);
+    pool.push(job.as_job_ref());
+    // Run the right branch inline; even if it panics, the left job must be
+    // settled (reclaimed or awaited) before this frame unwinds, because a
+    // worker may hold a pointer into it.
+    let rb = panic::catch_unwind(AssertUnwindSafe(oper_b));
+    let job_data = job.as_job_ref().data;
+    if pool.try_reclaim(job_data) {
+        match rb {
+            // Nobody else references the job: run it inline.
+            Ok(rb) => {
+                unsafe { StackJob::<A, RA>::execute(job_data) };
+                (job.into_result(), rb)
+            }
+            // The right branch panicked; drop the never-run left branch.
+            Err(payload) => panic::resume_unwind(payload),
         }
-    })
+    } else {
+        job.wait_done();
+        match rb {
+            Ok(rb) => (job.into_result(), rb),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +313,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn panics_propagate() {
-        // Exercise both the spawned and inline paths; either must propagate.
+        // Exercise both the published and inline paths; either must
+        // propagate.
         let _ = join(|| panic!("boom"), || 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "right boom")]
+    fn right_branch_panics_propagate() {
+        let _ = join(|| 7, || panic!("right boom"));
     }
 
     #[test]
@@ -148,5 +337,44 @@ mod tests {
             tokens().load(Ordering::Relaxed) >= before,
             "panicking joins leaked parallelism tokens"
         );
+    }
+
+    #[test]
+    fn workers_persist_across_many_joins() {
+        // With the persistent pool, repeated joins must not accumulate OS
+        // threads: every parallel branch runs on one of the fixed workers
+        // (named wec-rayon-*) or inline. Exercised indirectly: a burst of
+        // joins after the pool warmed up still completes and returns
+        // correct results.
+        let total: u64 = (0..512u64)
+            .map(|i| {
+                let (a, b) = join(move || i, move || i * 2);
+                a + b
+            })
+            .sum();
+        assert_eq!(total, 3 * 511 * 512 / 2);
+    }
+
+    #[test]
+    fn branches_run_only_inline_or_on_pool_workers() {
+        // A published left branch must execute either on the joining thread
+        // itself (inline / reclaimed) or on one of the named persistent
+        // workers — never on an ad-hoc spawned thread. This is the
+        // observable difference between the persistent pool and the old
+        // scoped-thread-per-join design.
+        let caller = thread::current().id();
+        for _ in 0..256 {
+            let ((id, name), ()) = join(
+                || {
+                    let t = thread::current();
+                    (t.id(), t.name().unwrap_or("").to_string())
+                },
+                std::thread::yield_now,
+            );
+            assert!(
+                id == caller || name.starts_with("wec-rayon-"),
+                "left branch ran on unexpected thread {name:?}"
+            );
+        }
     }
 }

@@ -24,7 +24,9 @@
 //! * [`connectivity`] — §4.2 write-efficient connectivity + the §4.3
 //!   sublinear-write connectivity oracle;
 //! * [`biconnectivity`] — §5.2 BC labeling + the §5.3 sublinear-write
-//!   biconnectivity oracle.
+//!   biconnectivity oracle;
+//! * [`serve`] — the sharded batch-query serving layer over both oracles
+//!   (read-only queries fanned out across per-shard ledger scopes).
 //!
 //! ## Quickstart
 //!
@@ -57,3 +59,4 @@ pub use wec_connectivity as connectivity;
 pub use wec_core as core;
 pub use wec_graph as graph;
 pub use wec_prims as prims;
+pub use wec_serve as serve;
