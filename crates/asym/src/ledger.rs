@@ -666,6 +666,95 @@ impl CostTally {
     }
 }
 
+/// Deferred accounting for a **result cache** sitting in front of a
+/// read-only query path (see `wec-serve`'s streaming front end): every
+/// probe, hit, miss, and insertion is noted into plain counters and the
+/// accumulated [`Costs`] are flushed into a [`Charge`] sink once per batch,
+/// exactly like [`CostTally`] — one flush charges what the equivalent
+/// per-item calls would have (same `Costs`, same depth contribution).
+///
+/// The charge conventions this tally encodes (the serving layer's
+/// hit/miss cost contract builds on them):
+///
+/// * a **probe** charges its asymmetric reads whether it hits or misses —
+///   the cache is resident in asymmetric memory and probing it is a read;
+/// * a **hit** charges *nothing beyond the probe*;
+/// * a **miss** charges nothing here either — the caller re-runs the full
+///   query against the oracle, which charges its own ledger as usual;
+/// * an **insertion** charges its asymmetric writes (cache fills are real
+///   writes, each costing `ω` — the write-efficiency trade a cache makes).
+///
+/// Hit/miss/insert *counters* are cumulative across flushes (they feed the
+/// serving layer's hit-ratio reporting); only the pending [`Costs`] reset
+/// on flush.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheTally {
+    pending: Costs,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+}
+
+impl CacheTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note a probe that hit, charging `probe_reads` asymmetric reads.
+    #[inline]
+    pub fn hit(&mut self, probe_reads: u64) {
+        self.hits += 1;
+        self.pending.asym_reads += probe_reads;
+    }
+
+    /// Note a probe that missed, charging `probe_reads` asymmetric reads.
+    /// The caller is responsible for charging the full query it now runs.
+    #[inline]
+    pub fn miss(&mut self, probe_reads: u64) {
+        self.misses += 1;
+        self.pending.asym_reads += probe_reads;
+    }
+
+    /// Note a cache fill of `write_words` asymmetric words.
+    #[inline]
+    pub fn insert(&mut self, write_words: u64) {
+        self.inserts += 1;
+        self.pending.asym_writes += write_words;
+    }
+
+    /// Cumulative hits across the tally's lifetime.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative misses across the tally's lifetime.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cumulative insertions across the tally's lifetime.
+    #[inline]
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// The accumulated, not-yet-flushed counters.
+    #[inline]
+    pub fn pending(&self) -> Costs {
+        self.pending
+    }
+
+    /// Charge the accumulated counters into `sink` and reset the pending
+    /// costs (hit/miss/insert counters are preserved).
+    pub fn flush(&mut self, sink: &mut impl Charge) {
+        sink.charge(self.pending);
+        self.pending = Costs::ZERO;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,6 +1066,36 @@ mod tests {
     #[should_panic(expected = "omega must be at least 1")]
     fn zero_omega_rejected() {
         let _ = Ledger::new(0);
+    }
+
+    #[test]
+    fn cache_tally_flush_equals_direct_charges() {
+        let mut t = CacheTally::new();
+        t.miss(1);
+        t.insert(1);
+        t.hit(2);
+        t.hit(2);
+        t.miss(1);
+        assert_eq!(t.hits(), 2);
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.inserts(), 1);
+        assert_eq!(
+            t.pending(),
+            Costs {
+                asym_reads: 6,
+                asym_writes: 1,
+                sym_ops: 0
+            }
+        );
+        let mut via = Ledger::new(8);
+        t.flush(&mut via);
+        assert_eq!(t.pending(), Costs::ZERO, "flush resets pending costs");
+        assert_eq!(t.hits(), 2, "flush preserves the hit/miss counters");
+        let mut direct = Ledger::new(8);
+        direct.read(6);
+        direct.write(1);
+        assert_eq!(via.costs(), direct.costs());
+        assert_eq!(via.depth(), direct.depth());
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //!   full contract is documented in the [`ledger`] module.
 //! * [`CostTally`] — a deferred tally for read-mostly batch passes (query
 //!   serving): note per-item charges into plain counters, flush once.
+//! * [`CacheTally`] — the result-cache variant: probe/hit/miss/insert
+//!   accounting with cumulative hit/miss counters, flushed the same way.
 //! * [`AsymArray`], [`AsymAtomicBitmap`] — asymmetric-memory containers that
 //!   charge the ledger on access.
 //! * [`FxHashMap`]/[`FxHashSet`] — a local implementation of the FxHash
@@ -47,7 +49,7 @@ pub mod report;
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ledger::{Charge, CostTally, Ledger, LedgerScope};
+pub use ledger::{CacheTally, Charge, CostTally, Ledger, LedgerScope};
 pub use report::CostReport;
 
 /// Default write-cost multiplier used by examples and tests when nothing

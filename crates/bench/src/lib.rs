@@ -19,7 +19,12 @@
 //!
 //! Beyond the paper's artifacts, `serve_bench` wall-clocks the `wec-serve`
 //! sharded batch-query layer (batch size × shard count sweep) and emits
-//! `BENCH_PR2.json`. Criterion wall-clock benches live in `benches/`.
+//! `BENCH_PR2.json`; `stream_bench` wall-clocks the streaming front end
+//! (micro-batch × cache capacity × locality sweep, plus the BFS
+//! frontier-concat share) and emits `BENCH_PR3.json`; `cost_golden`
+//! regenerates `costs_golden.json`, the exact-cost golden file CI's
+//! cost-regression gate diffs. Criterion wall-clock benches live in
+//! `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -226,6 +231,111 @@ impl ServeSnapshot {
     /// Write the snapshot to `path` (or the `WEC_SERVE_BENCH_OUT` override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_SERVE_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured point of the streaming sweep: a fixed micro-batch size ×
+/// per-shard cache capacity × workload locality, served as a stream.
+#[derive(Debug, Clone)]
+pub struct StreamSweepPoint {
+    /// Admission policy's `max_batch` (micro-batch size).
+    pub max_batch: u64,
+    /// Per-shard result-cache capacity (0 = caching disabled).
+    pub cache_capacity: u64,
+    /// Fraction of the stream drawn from the hot key set (workload
+    /// locality knob; higher means more cacheable repetition).
+    pub hot_fraction: f64,
+    /// Measured cache hit ratio of the run.
+    pub hit_ratio: f64,
+    /// Median wall-clock seconds for the whole stream.
+    pub seconds_per_stream: f64,
+    /// Queries answered per second (`stream_len / seconds_per_stream`).
+    pub query_throughput_per_sec: f64,
+    /// Model asymmetric reads charged per query.
+    pub reads_per_query: f64,
+    /// Model asymmetric writes charged per query (cache fills only).
+    pub writes_per_query: f64,
+}
+
+impl StreamSweepPoint {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("max_batch", self.max_batch)
+            .num("cache_capacity", self.cache_capacity)
+            .float("hot_fraction", self.hot_fraction)
+            .float("hit_ratio", self.hit_ratio)
+            .float("seconds_per_stream", self.seconds_per_stream)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("reads_per_query", self.reads_per_query)
+            .float("writes_per_query", self.writes_per_query)
+            .finish()
+    }
+}
+
+/// The machine-readable streaming-layer snapshot (`BENCH_PR3.json`): a
+/// micro-batch × cache-capacity × locality sweep over the
+/// `wec_serve::StreamingServer`, plus the sequential frontier-concat share
+/// of BFS (the ROADMAP "frontier concatenation" measurement). The
+/// top-level `query_throughput_per_sec` / `peak_hit_ratio` /
+/// `bfs_concat_op_share` keys are the schema CI's bench guard validates.
+#[derive(Debug, Clone)]
+pub struct StreamSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Queries per stream run.
+    pub stream_len: u64,
+    /// The full sweep grid.
+    pub sweep: Vec<StreamSweepPoint>,
+    /// Peak queries/sec across the sweep.
+    pub query_throughput_per_sec: f64,
+    /// Best cache hit ratio across the sweep.
+    pub peak_hit_ratio: f64,
+    /// BFS sequential-concat charged ops over total charged operations.
+    pub bfs_concat_op_share: f64,
+    /// BFS concat elements moved over total charged operations (the upper
+    /// bound on what a scan-based parallel pack could relocate).
+    pub bfs_concat_elem_share: f64,
+}
+
+impl StreamSnapshot {
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .num("shards", self.shards)
+            .num("stream_len", self.stream_len)
+            .raw(
+                "sweep",
+                &json::array(self.sweep.iter().map(|p| p.to_json())),
+            )
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("peak_hit_ratio", self.peak_hit_ratio)
+            .float("bfs_concat_op_share", self.bfs_concat_op_share)
+            .float("bfs_concat_elem_share", self.bfs_concat_elem_share)
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_STREAM_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_STREAM_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

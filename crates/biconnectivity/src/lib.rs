@@ -22,5 +22,5 @@ pub mod tecc;
 
 pub use labeling::{bc_labeling, bc_labeling_with_forest, BcLabeling, NO_LABEL};
 pub use lowhigh::{low_high, LowHigh};
-pub use oracle::{BiconnQueryHandle, BiconnectivityOracle};
+pub use oracle::{BiconnQueryHandle, BiconnQueryKey, BiconnectivityOracle};
 pub use tecc::TwoEdgeConnectivity;

@@ -540,6 +540,37 @@ impl<'a, G: GraphView> BiconnectivityOracle<'a, G> {
     }
 }
 
+/// Canonical, hashable identity of a biconnectivity-class predicate query,
+/// for result caches (see `wec-serve`'s streaming front end).
+///
+/// Both predicates are symmetric in their endpoints, so the constructors
+/// normalize the pair to `(min, max)`: `two_edge_connected(u, v)` and
+/// `two_edge_connected(v, u)` share one key (and therefore one cache
+/// entry). Canonicalization is pure compute on values already in hand and
+/// charges nothing; a cache miss re-runs the query **in canonical order**,
+/// so the miss cost is the one-by-one cost of the canonicalized query (the
+/// oracle's short-circuit order can make `(u, v)` and `(v, u)` charge
+/// slightly differently — the key pins down which of the two is charged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BiconnQueryKey {
+    /// `two_edge_connected(u, v)` with `u <= v`.
+    TwoEdgeConnected(Vertex, Vertex),
+    /// `biconnected(u, v)` with `u <= v`.
+    Biconnected(Vertex, Vertex),
+}
+
+impl BiconnQueryKey {
+    /// Canonical key for a 2-edge-connectivity query.
+    pub fn two_edge_connected(u: Vertex, v: Vertex) -> Self {
+        BiconnQueryKey::TwoEdgeConnected(u.min(v), u.max(v))
+    }
+
+    /// Canonical key for a biconnectivity query.
+    pub fn biconnected(u: Vertex, v: Vertex) -> Self {
+        BiconnQueryKey::Biconnected(u.min(v), u.max(v))
+    }
+}
+
 /// A borrowed, copyable query view over a built [`BiconnectivityOracle`].
 ///
 /// Queries re-derive `ρ` and rebuild at most three local graphs in
@@ -577,6 +608,17 @@ impl<'o, 'g, G: GraphView> BiconnQueryHandle<'o, 'g, G> {
     /// Whether `u` and `v` are 2-edge-connected.
     pub fn two_edge_connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
         self.oracle.two_edge_connected(led, u, v)
+    }
+
+    /// Answer a predicate query by its canonical [`BiconnQueryKey`]:
+    /// charges exactly what the corresponding direct call with the
+    /// canonicalized argument order would charge. This is the miss path of
+    /// key-addressed result caches.
+    pub fn answer_key(&self, led: &mut Ledger, key: BiconnQueryKey) -> bool {
+        match key {
+            BiconnQueryKey::TwoEdgeConnected(u, v) => self.oracle.two_edge_connected(led, u, v),
+            BiconnQueryKey::Biconnected(u, v) => self.oracle.biconnected(led, u, v),
+        }
     }
 
     /// Whether `v` is an articulation point.

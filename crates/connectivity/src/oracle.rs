@@ -224,9 +224,25 @@ impl<'o, 'g, G: GraphView> ConnQueryHandle<'o, 'g, G> {
         }
     }
 
+    /// The [`ComponentId`] pair of `(u, v)` — the cacheable form of a
+    /// [`ConnQueryHandle::connected`] query. `ComponentId` is `Copy + Hash`,
+    /// so result caches (see `wec-serve`'s streaming front end) memoize the
+    /// per-vertex ids and derive pair answers by comparing cached pairs
+    /// instead of re-running `ρ`; the comparison itself is free in the
+    /// model, so splitting the query this way never changes its cost.
+    pub fn component_pair(
+        &self,
+        led: &mut Ledger,
+        u: Vertex,
+        v: Vertex,
+    ) -> (ComponentId, ComponentId) {
+        (self.component(led, u), self.component(led, v))
+    }
+
     /// Whether `u` and `v` are connected: two `ρ` queries + label compare.
     pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
-        self.component(led, u) == self.component(led, v)
+        let (a, b) = self.component_pair(led, u, v);
+        a == b
     }
 }
 

@@ -29,8 +29,7 @@
 //! 1. each query's own oracle charges (identical to calling the handle
 //!    directly with the same ledger);
 //! 2. [`QUERY_WORDS`] asymmetric reads per query for scanning the batch
-//!    input, tallied per shard through [`wec_asym::CostTally`] and flushed
-//!    once per shard (read-mostly batch accounting);
+//!    input, charged as one bulk read per shard;
 //! 3. `scoped_par`'s documented scheduler bookkeeping:
 //!    `chunks − 1` unit operations of work and `⌈log₂ chunks⌉` depth,
 //!    where `chunks =` [`shard_chunks`]`(n, s)`.
@@ -40,8 +39,23 @@
 //! bookkeeping operations — a delta that is a pure function of `(n, s)`.
 //! `tests/serving.rs` at the workspace root enforces both equalities across
 //! shard counts and thread counts.
+//!
+//! ## Streaming
+//!
+//! Point-query *streams* (rather than pre-formed batches) enter through
+//! the [`streaming`] module: [`StreamingServer`] coalesces submissions
+//! into micro-batches under an [`AdmissionPolicy`], dispatches them
+//! through this sharded path with per-shard component-keyed result
+//! caches, and delivers answers in submission order. Its exact hit/miss
+//! cost contract is documented in the [`streaming`] module docs.
 
-use wec_asym::{CostTally, Ledger};
+pub mod streaming;
+
+pub use streaming::{
+    AdmissionPolicy, CacheStats, StreamingServer, Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS,
+};
+
+use wec_asym::Ledger;
 use wec_biconnectivity::BiconnQueryHandle;
 use wec_connectivity::{ComponentId, ConnQueryHandle};
 use wec_graph::{GraphView, Vertex};
@@ -133,6 +147,16 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
         self.shards
     }
 
+    /// The connectivity query handle this server dispatches to.
+    pub fn conn_handle(&self) -> ConnQueryHandle<'o, 'g, G> {
+        self.conn
+    }
+
+    /// The biconnectivity query handle, when one is attached.
+    pub fn bicon_handle(&self) -> Option<BiconnQueryHandle<'o, 'g, G>> {
+        self.bicon
+    }
+
     /// Answer one query exactly as a shard worker would, minus the batch
     /// input-scan read ([`QUERY_WORDS`]) and scheduler bookkeeping.
     ///
@@ -171,11 +195,8 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
         }
         let grain = batch.len().div_ceil(self.shards);
         let parts: Vec<Vec<Answer>> = led.scoped_par(batch.len(), grain, &|r, scope| {
-            // Read-mostly batch accounting: the shard's input scan is
-            // tallied locally and flushed as one bulk charge.
-            let mut tally = CostTally::new();
-            tally.note_reads(r.len() as u64 * QUERY_WORDS);
-            tally.flush(scope);
+            // The shard's input scan as one bulk charge.
+            scope.read(r.len() as u64 * QUERY_WORDS);
             let mut out = Vec::with_capacity(r.len());
             for &q in &batch[r] {
                 out.push(self.answer_one(scope.ledger(), q));

@@ -1,0 +1,467 @@
+//! Streaming admission front end with component-keyed result caching.
+//!
+//! [`super::ShardedServer`] answers pre-formed batches; production traffic
+//! arrives as a *stream* of point queries. [`StreamingServer`] closes that
+//! gap: queries enter through a submission queue, an admission policy
+//! coalesces them into micro-batches, each micro-batch dispatches through
+//! the existing sharded path, and answers are delivered strictly in
+//! submission order via ticketed response reordering.
+//!
+//! ## Admission
+//!
+//! [`AdmissionPolicy`] has two knobs:
+//!
+//! * `max_batch` — the largest micro-batch one dispatch may carry;
+//! * `max_queue` — the queue depth that triggers automatic dispatch: when a
+//!   [`StreamingServer::submit`] brings the queue to `max_queue`, the
+//!   server flushes micro-batches (each at most `max_batch` queries) until
+//!   the queue is below the threshold again.
+//!
+//! [`StreamingServer::flush`] and [`StreamingServer::drain`] dispatch
+//! eagerly without waiting for the threshold; a drain's final micro-batch
+//! simply carries whatever is left (possibly a single query).
+//!
+//! ## The per-shard result cache
+//!
+//! Each shard owns a result cache in asymmetric memory, keyed so that
+//! connectivity answers resolve through **`ComponentId` pairs**:
+//!
+//! * connectivity-class queries go through a per-vertex memo
+//!   `Vertex → ComponentId` ([`wec_connectivity::ConnQueryHandle::component_pair`]
+//!   is the cacheable surface): a [`Query::Component`] probes one key, a
+//!   [`Query::Connected`] probes both endpoints and derives its answer by
+//!   comparing the memoized `ComponentId` pair — the comparison is free in
+//!   the model, exactly as in the uncached query;
+//! * biconnectivity-class predicates are keyed on their canonical
+//!   [`wec_biconnectivity::BiconnQueryKey`] (the label-equivalent identity:
+//!   endpoint order normalized, so `(u, v)` and `(v, u)` share an entry)
+//!   with the boolean answer as the cached value.
+//!
+//! Shards only ever touch their own cache (a micro-batch of `n` queries
+//! over `s` shards maps chunk `i` to cache `i`, the same deterministic
+//! partition [`super::ShardedServer::serve`] uses), so hit/miss patterns —
+//! and therefore every charge — are a pure function of the submission
+//! sequence, never of thread scheduling.
+//!
+//! ## The exact hit/miss cost contract
+//!
+//! Dispatching a micro-batch of `n` queries over `s` shards charges
+//! **exactly** (enforced by `tests/streaming.rs` at the workspace root):
+//!
+//! 1. [`super::QUERY_WORDS`] asymmetric reads per query (batch input scan),
+//!    as in the plain sharded path;
+//! 2. [`CACHE_PROBE_READS`] asymmetric reads per probe — one probe for a
+//!    [`Query::Component`] or a biconnectivity-class predicate, two (one
+//!    per endpoint) for a [`Query::Connected`]. A **hit costs nothing
+//!    beyond its probe**;
+//! 3. per **miss**, the full one-by-one cost of the canonical underlying
+//!    query — `component(x)` for a missing endpoint memo, the
+//!    canonical-order predicate for a missing [`wec_biconnectivity::BiconnQueryKey`] —
+//!    charged by the oracle itself, identical to an uncached call;
+//! 4. [`CACHE_INSERT_WRITES`] asymmetric writes per cache fill (every miss
+//!    fills unless the shard cache is at `cache_capacity`; there is no
+//!    eviction, a full cache simply stops filling). Cache fills are the
+//!    *only* writes the serving layer ever performs — the write-efficiency
+//!    trade: one `ω`-cost write buys all future probes of that key;
+//! 5. `shard_chunks(n, s) − 1` unit operations of scheduler bookkeeping,
+//!    as in the plain sharded path.
+//!
+//! Probe/hit/insert charges are tallied per shard through
+//! [`wec_asym::CacheTally`] and flushed once per shard per dispatch, which
+//! charges exactly what the per-item calls would have (the tally's linear
+//! deferral contract). With `cache_capacity == 0` the cache is bypassed
+//! entirely — no probes, no fills — and a dispatch charges precisely what
+//! [`super::ShardedServer::serve`] charges for the same batch.
+//!
+//! Because the merge runs in chunk index order, the total `Costs`, depth,
+//! and symmetric-memory peak of any submit/flush/drain sequence are
+//! **bit-identical across `WEC_THREADS` settings**; CI pins this with the
+//! {1, 2, 8} matrix.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use wec_asym::{CacheTally, Ledger};
+use wec_biconnectivity::BiconnQueryKey;
+use wec_connectivity::ComponentId;
+use wec_graph::{GraphView, Vertex};
+
+use crate::{Answer, Query, ShardedServer, QUERY_WORDS};
+
+/// Asymmetric reads charged per result-cache probe (hash the key, inspect
+/// its bucket).
+pub const CACHE_PROBE_READS: u64 = 1;
+
+/// Asymmetric words written per result-cache fill (the packed key/value
+/// record).
+pub const CACHE_INSERT_WRITES: u64 = 1;
+
+/// When micro-batches form and how much each shard may cache. See the
+/// module docs for the exact semantics of each knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Largest micro-batch a single dispatch may carry (at least 1).
+    pub max_batch: usize,
+    /// Queue depth that triggers automatic dispatch on submit (at least 1;
+    /// 1 means every submission dispatches immediately as a batch of one).
+    pub max_queue: usize,
+    /// Per-shard result-cache entry budget; 0 disables caching entirely
+    /// (dispatches then cost exactly [`ShardedServer::serve`]).
+    pub cache_capacity: usize,
+}
+
+impl AdmissionPolicy {
+    /// A policy with the given batching knobs (clamped to at least 1) and
+    /// the default cache capacity.
+    pub fn new(max_batch: usize, max_queue: usize) -> Self {
+        AdmissionPolicy {
+            max_batch: max_batch.max(1),
+            max_queue: max_queue.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// The same policy with a per-shard cache budget (0 disables caching).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_batch: 256,
+            max_queue: 1024,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Receipt for one submitted [`Query`]: tickets are issued in submission
+/// order and [`StreamingServer::try_next`] delivers answers in exactly
+/// that order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The submission sequence number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// Cumulative result-cache counters, per shard or aggregated
+/// ([`StreamingServer::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that found their key.
+    pub hits: u64,
+    /// Probes that did not.
+    pub misses: u64,
+    /// Cache fills performed (≤ misses; a full cache stops filling).
+    pub inserts: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over probes, 0.0 when nothing was probed.
+    pub fn hit_ratio(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// One shard's result cache: the component memo, the predicate cache, and
+/// the deferred charge tally. Only the owning shard's worker ever locks it,
+/// and only for the duration of its own chunk.
+#[derive(Debug, Default)]
+struct ShardCache {
+    comp: wec_asym::FxHashMap<Vertex, ComponentId>,
+    pred: wec_asym::FxHashMap<BiconnQueryKey, bool>,
+    tally: CacheTally,
+}
+
+impl ShardCache {
+    fn len(&self) -> usize {
+        self.comp.len() + self.pred.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.tally.hits(),
+            misses: self.tally.misses(),
+            inserts: self.tally.inserts(),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+/// The streaming admission front end over a [`ShardedServer`]. See the
+/// module docs for the admission semantics and the exact cost contract.
+///
+/// ```
+/// # use wec_asym::Ledger;
+/// # use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+/// # use wec_graph::{gen, Priorities};
+/// use wec_serve::{AdmissionPolicy, Query, ShardedServer, StreamingServer};
+///
+/// # let g = gen::grid(6, 6);
+/// # let pri = Priorities::random(36, 1);
+/// # let verts: Vec<u32> = (0..36).collect();
+/// # let mut led = Ledger::new(16);
+/// # let oracle = ConnectivityOracle::build(
+/// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
+/// let sharded = ShardedServer::new(oracle.query_handle(), 2);
+/// let mut srv = StreamingServer::new(sharded, AdmissionPolicy::new(8, 32));
+///
+/// let mut qled = Ledger::new(16);
+/// let t0 = srv.submit(&mut qled, Query::Connected(0, 35));
+/// let t1 = srv.submit(&mut qled, Query::Component(7));
+/// srv.drain(&mut qled);
+/// let (first, _) = srv.try_next().unwrap();
+/// let (second, _) = srv.try_next().unwrap();
+/// assert_eq!((first, second), (t0, t1), "submission order");
+/// ```
+pub struct StreamingServer<'o, 'g, G: GraphView> {
+    server: ShardedServer<'o, 'g, G>,
+    policy: AdmissionPolicy,
+    caches: Vec<Mutex<ShardCache>>,
+    queue: VecDeque<(u64, Query)>,
+    ready: BTreeMap<u64, Answer>,
+    next_ticket: u64,
+    next_deliver: u64,
+}
+
+impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
+    /// A streaming front end dispatching through `server` under `policy`.
+    /// One empty result cache is created per shard.
+    pub fn new(server: ShardedServer<'o, 'g, G>, policy: AdmissionPolicy) -> Self {
+        let policy = AdmissionPolicy {
+            max_batch: policy.max_batch.max(1),
+            max_queue: policy.max_queue.max(1),
+            cache_capacity: policy.cache_capacity,
+        };
+        let caches = (0..server.shards())
+            .map(|_| Mutex::new(ShardCache::default()))
+            .collect();
+        StreamingServer {
+            server,
+            policy,
+            caches,
+            queue: VecDeque::new(),
+            ready: BTreeMap::new(),
+            next_ticket: 0,
+            next_deliver: 0,
+        }
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Queries admitted but not yet dispatched.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Answers computed but not yet delivered through [`Self::try_next`].
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Admit one query. If this brings the queue to the policy's
+    /// `max_queue`, micro-batches dispatch (charging `led`) until the queue
+    /// is below the threshold again.
+    pub fn submit(&mut self, led: &mut Ledger, q: Query) -> Ticket {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        self.queue.push_back((t, q));
+        while self.queue.len() >= self.policy.max_queue {
+            self.flush(led);
+        }
+        Ticket(t)
+    }
+
+    /// Dispatch one micro-batch of up to `max_batch` queued queries (fewer
+    /// if the queue drains first). Returns how many were dispatched.
+    pub fn flush(&mut self, led: &mut Ledger) -> usize {
+        let take = self.queue.len().min(self.policy.max_batch);
+        if take == 0 {
+            return 0;
+        }
+        let batch: Vec<(u64, Query)> = self.queue.drain(..take).collect();
+        self.dispatch(led, &batch);
+        take
+    }
+
+    /// Dispatch micro-batches until the queue is empty. Returns how many
+    /// queries were dispatched in total.
+    pub fn drain(&mut self, led: &mut Ledger) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.flush(led);
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    /// Deliver the next answer **in submission order**: `Some` only when
+    /// the answer for the oldest undelivered ticket has been computed.
+    pub fn try_next(&mut self) -> Option<(Ticket, Answer)> {
+        let a = self.ready.remove(&self.next_deliver)?;
+        let t = Ticket(self.next_deliver);
+        self.next_deliver += 1;
+        Some((t, a))
+    }
+
+    /// Deliver every consecutively-ready answer in submission order.
+    pub fn take_ready(&mut self) -> Vec<(Ticket, Answer)> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.try_next() {
+            out.push(pair);
+        }
+        out
+    }
+
+    /// Cumulative cache counters summed across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for c in &self.caches {
+            let s = c.lock().expect("shard cache poisoned").stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.inserts += s.inserts;
+            agg.entries += s.entries;
+        }
+        agg
+    }
+
+    /// Cumulative cache counters of one shard.
+    pub fn shard_cache_stats(&self, shard: usize) -> CacheStats {
+        self.caches[shard]
+            .lock()
+            .expect("shard cache poisoned")
+            .stats()
+    }
+
+    /// Serve one micro-batch through the sharded path with per-shard
+    /// caches, parking the answers in the reorder buffer.
+    fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
+        let n = batch.len();
+        let grain = n.div_ceil(self.server.shards());
+        let (server, caches, cap) = (&self.server, &self.caches, self.policy.cache_capacity);
+        let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(n, grain, &|r, scope| {
+            // Same bulk input-scan charge as the batch path.
+            scope.read(r.len() as u64 * QUERY_WORDS);
+            // Chunk i is shard i: this worker is the only one touching
+            // caches[i], so the lock never contends and hit/miss patterns
+            // stay schedule-independent.
+            let mut cache = caches[r.start / grain]
+                .lock()
+                .expect("shard cache poisoned");
+            let mut out = Vec::with_capacity(r.len());
+            for &(t, q) in &batch[r] {
+                let a = if cap == 0 {
+                    server.answer_one(scope.ledger(), q)
+                } else {
+                    answer_cached(server, scope.ledger(), &mut cache, cap, q)
+                };
+                out.push((t, a));
+            }
+            cache.tally.flush(scope);
+            out
+        });
+        for p in parts {
+            for (t, a) in p {
+                self.ready.insert(t, a);
+            }
+        }
+    }
+}
+
+/// Answer one query through the shard's cache, charging exactly the
+/// module-level hit/miss contract (items 2–4).
+fn answer_cached<G: GraphView>(
+    server: &ShardedServer<'_, '_, G>,
+    led: &mut Ledger,
+    cache: &mut ShardCache,
+    capacity: usize,
+    q: Query,
+) -> Answer {
+    match q {
+        Query::Component(v) => Answer::Component(memo_component(server, led, cache, capacity, v)),
+        Query::Connected(u, v) => {
+            // The answer is derived from the memoized ComponentId pair; the
+            // comparison is free, as in ConnQueryHandle::component_pair.
+            let a = memo_component(server, led, cache, capacity, u);
+            let b = memo_component(server, led, cache, capacity, v);
+            Answer::Connected(a == b)
+        }
+        Query::TwoEdgeConnected(u, v) => Answer::TwoEdgeConnected(memo_pred(
+            server,
+            led,
+            cache,
+            capacity,
+            BiconnQueryKey::two_edge_connected(u, v),
+        )),
+        Query::Biconnected(u, v) => Answer::Biconnected(memo_pred(
+            server,
+            led,
+            cache,
+            capacity,
+            BiconnQueryKey::biconnected(u, v),
+        )),
+    }
+}
+
+fn memo_component<G: GraphView>(
+    server: &ShardedServer<'_, '_, G>,
+    led: &mut Ledger,
+    cache: &mut ShardCache,
+    capacity: usize,
+    v: Vertex,
+) -> ComponentId {
+    if let Some(&id) = cache.comp.get(&v) {
+        cache.tally.hit(CACHE_PROBE_READS);
+        return id;
+    }
+    cache.tally.miss(CACHE_PROBE_READS);
+    let id = server.conn_handle().component(led, v);
+    if cache.len() < capacity {
+        cache.tally.insert(CACHE_INSERT_WRITES);
+        cache.comp.insert(v, id);
+    }
+    id
+}
+
+fn memo_pred<G: GraphView>(
+    server: &ShardedServer<'_, '_, G>,
+    led: &mut Ledger,
+    cache: &mut ShardCache,
+    capacity: usize,
+    key: BiconnQueryKey,
+) -> bool {
+    if let Some(&ans) = cache.pred.get(&key) {
+        cache.tally.hit(CACHE_PROBE_READS);
+        return ans;
+    }
+    cache.tally.miss(CACHE_PROBE_READS);
+    let ans = server
+        .bicon_handle()
+        .expect("server was built without a biconnectivity oracle")
+        .answer_key(led, key);
+    if cache.len() < capacity {
+        cache.tally.insert(CACHE_INSERT_WRITES);
+        cache.pred.insert(key, ans);
+    }
+    ans
+}

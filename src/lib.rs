@@ -25,8 +25,11 @@
 //!   sublinear-write connectivity oracle;
 //! * [`biconnectivity`] — §5.2 BC labeling + the §5.3 sublinear-write
 //!   biconnectivity oracle;
-//! * [`serve`] — the sharded batch-query serving layer over both oracles
-//!   (read-only queries fanned out across per-shard ledger scopes).
+//! * [`serve`] — the serving layer over both oracles: sharded batch
+//!   queries fanned out across per-shard ledger scopes, plus the streaming
+//!   admission front end (micro-batch coalescing, submission-order
+//!   delivery, per-shard component-keyed result caches with an exact
+//!   hit/miss cost contract).
 //!
 //! ## Quickstart
 //!
