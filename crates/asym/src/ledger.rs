@@ -678,21 +678,33 @@ impl CostTally {
 ///
 /// * a **probe** charges its asymmetric reads whether it hits or misses —
 ///   the cache is resident in asymmetric memory and probing it is a read;
-/// * a **hit** charges *nothing beyond the probe*;
+/// * a **hit** charges *nothing beyond the probe* — unless the eviction
+///   policy keeps recency state, in which case the hit additionally
+///   notes the policy's documented touch charge via [`CacheTally::touch`]
+///   (a CLOCK second-chance bit set is unit-cost symmetric-memory
+///   traffic);
 /// * a **miss** charges nothing here either — the caller re-runs the full
 ///   query against the oracle, which charges its own ledger as usual;
 /// * an **insertion** charges its asymmetric writes (cache fills are real
-///   writes, each costing `ω` — the write-efficiency trade a cache makes).
+///   writes, each costing `ω` — the write-efficiency trade a cache makes);
+/// * an **eviction** ([`CacheTally::evict`]) charges the policy's victim
+///   scan as unit operations (for CLOCK: one op per slot the hand
+///   inspects, second-chance clears included) and *no asymmetric writes
+///   of its own* — the replacement record is written in place by the
+///   follow-up insertion, so an evict-then-fill still charges exactly one
+///   insertion's writes. Cache fills remain the only asymmetric writes a
+///   cache ever performs.
 ///
-/// Hit/miss/insert *counters* are cumulative across flushes (they feed the
-/// serving layer's hit-ratio reporting); only the pending [`Costs`] reset
-/// on flush.
+/// Hit/miss/insert/evict *counters* are cumulative across flushes (they
+/// feed the serving layer's hit-ratio reporting); only the pending
+/// [`Costs`] reset on flush.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct CacheTally {
     pending: Costs,
     hits: u64,
     misses: u64,
     inserts: u64,
+    evictions: u64,
 }
 
 impl CacheTally {
@@ -723,6 +735,24 @@ impl CacheTally {
         self.pending.asym_writes += write_words;
     }
 
+    /// Note recency maintenance on a hit (e.g. setting a CLOCK
+    /// second-chance bit): `ops` unit-cost operations, no reads or writes.
+    #[inline]
+    pub fn touch(&mut self, ops: u64) {
+        self.pending.sym_ops += ops;
+    }
+
+    /// Note one eviction whose victim scan inspected `swept_slots` slots at
+    /// `ops_per_slot` unit operations each (for CLOCK: reading the slot's
+    /// second-chance bit, clearing it when set). The overwrite of the
+    /// victim's record is charged by the follow-up [`CacheTally::insert`],
+    /// never here.
+    #[inline]
+    pub fn evict(&mut self, swept_slots: u64, ops_per_slot: u64) {
+        self.evictions += 1;
+        self.pending.sym_ops += swept_slots * ops_per_slot;
+    }
+
     /// Cumulative hits across the tally's lifetime.
     #[inline]
     pub fn hits(&self) -> u64 {
@@ -739,6 +769,12 @@ impl CacheTally {
     #[inline]
     pub fn inserts(&self) -> u64 {
         self.inserts
+    }
+
+    /// Cumulative evictions across the tally's lifetime.
+    #[inline]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The accumulated, not-yet-flushed counters.
@@ -1096,6 +1132,38 @@ mod tests {
         direct.write(1);
         assert_eq!(via.costs(), direct.costs());
         assert_eq!(via.depth(), direct.depth());
+    }
+
+    #[test]
+    fn cache_tally_touch_and_evict_charge_ops_only() {
+        let mut t = CacheTally::new();
+        t.hit(1);
+        t.touch(1); // CLOCK second-chance bit set on the hit
+        t.miss(1);
+        t.evict(3, 1); // hand inspected 3 slots to find a victim
+        t.insert(1); // the replacement record overwrites the victim
+        assert_eq!(
+            (t.hits(), t.misses(), t.inserts(), t.evictions()),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(
+            t.pending(),
+            Costs {
+                asym_reads: 2,
+                asym_writes: 1,
+                sym_ops: 4
+            },
+            "evictions charge sweep ops, never writes"
+        );
+        let mut led = Ledger::new(8);
+        t.flush(&mut led);
+        assert_eq!(t.evictions(), 1, "flush preserves the eviction counter");
+        let mut direct = Ledger::new(8);
+        direct.read(2);
+        direct.write(1);
+        direct.op(4);
+        assert_eq!(led.costs(), direct.costs());
+        assert_eq!(led.depth(), direct.depth());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod report;
 
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ledger::{CacheTally, Charge, CostTally, Ledger, LedgerScope};
 pub use report::CostReport;
 

@@ -101,8 +101,11 @@ fn main() {
     assert_eq!(answers.len(), 120);
     scenarios.push(record("sharded_serve_mixed_120x3", &led));
 
-    // 4. Streaming dispatch, cache-cold: submissions auto-flush at the
-    // queue threshold, the tail drains explicitly.
+    // 4. Streaming dispatch, cache-cold, under the default policy
+    // (affinity routing + CLOCK eviction — so the golden file also pins
+    // the routing scan, owner-shard placement, and eviction charges):
+    // submissions auto-flush at the queue threshold, the tail drains
+    // explicitly.
     let make_streaming = || {
         let sharded =
             ShardedServer::new(conn.query_handle(), 3).with_biconnectivity(bicon.query_handle());

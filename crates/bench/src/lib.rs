@@ -21,10 +21,13 @@
 //! sharded batch-query layer (batch size × shard count sweep) and emits
 //! `BENCH_PR2.json`; `stream_bench` wall-clocks the streaming front end
 //! (micro-batch × cache capacity × locality sweep, plus the BFS
-//! frontier-concat share) and emits `BENCH_PR3.json`; `cost_golden`
-//! regenerates `costs_golden.json`, the exact-cost golden file CI's
-//! cost-regression gate diffs. Criterion wall-clock benches live in
-//! `benches/`.
+//! frontier-concat share) and emits `BENCH_PR3.json`; `affinity_bench`
+//! compares routing × eviction policy combinations under cache-capacity
+//! pressure (locality × capacity-fraction sweep against the PR-3
+//! contiguous + fill-until-full baseline) and emits `BENCH_PR4.json`;
+//! `cost_golden` regenerates `costs_golden.json`, the exact-cost golden
+//! file CI's cost-regression gate diffs. Criterion wall-clock benches live
+//! in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -336,6 +339,122 @@ impl StreamSnapshot {
     /// override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_STREAM_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured point of the affinity sweep: a routing × eviction policy
+/// combination at a fixed workload locality and cache-capacity fraction.
+#[derive(Debug, Clone)]
+pub struct AffinitySweepPoint {
+    /// Routing policy label (`"contiguous"` / `"affinity"`).
+    pub routing: String,
+    /// Eviction policy label (`"fill"` / `"clock"`).
+    pub eviction: String,
+    /// Fraction of the stream drawn from the hot key set.
+    pub hot_fraction: f64,
+    /// Total cache capacity (all shards) as a fraction of the stream's
+    /// working set (its count of distinct cache keys).
+    pub capacity_fraction: f64,
+    /// Per-shard slot budget the fraction resolves to.
+    pub per_shard_capacity: u64,
+    /// Measured cumulative cache hit ratio of the run.
+    pub hit_ratio: f64,
+    /// CLOCK evictions per query (0 under fill-until-full).
+    pub evictions_per_query: f64,
+    /// Median wall-clock seconds for the whole stream.
+    pub seconds_per_stream: f64,
+    /// Queries answered per second (`stream_len / seconds_per_stream`).
+    pub query_throughput_per_sec: f64,
+    /// Model asymmetric reads charged per query.
+    pub reads_per_query: f64,
+    /// Model asymmetric writes charged per query (cache fills only).
+    pub writes_per_query: f64,
+}
+
+impl AffinitySweepPoint {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("routing", &self.routing)
+            .str("eviction", &self.eviction)
+            .float("hot_fraction", self.hot_fraction)
+            .float("capacity_fraction", self.capacity_fraction)
+            .num("per_shard_capacity", self.per_shard_capacity)
+            .float("hit_ratio", self.hit_ratio)
+            .float("evictions_per_query", self.evictions_per_query)
+            .float("seconds_per_stream", self.seconds_per_stream)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("reads_per_query", self.reads_per_query)
+            .float("writes_per_query", self.writes_per_query)
+            .finish()
+    }
+}
+
+/// The machine-readable affinity/eviction snapshot (`BENCH_PR4.json`):
+/// routing × eviction policy combinations swept over workload locality and
+/// cache-capacity pressure, against the PR-3 contiguous + fill-until-full
+/// baseline. The headline `affinity_hit_ratio` / `baseline_hit_ratio`
+/// pair is measured at the acceptance point — the 94%-hot stream with
+/// total capacity at 25% of the working set — and
+/// `query_throughput_per_sec` is the sweep peak; those three top-level
+/// keys are the schema CI's bench guard validates.
+#[derive(Debug, Clone)]
+pub struct AffinitySnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Queries per stream run.
+    pub stream_len: u64,
+    /// Distinct cache keys of the 94%-hot stream (the working set the
+    /// capacity fractions are relative to).
+    pub working_set: u64,
+    /// The full sweep grid.
+    pub sweep: Vec<AffinitySweepPoint>,
+    /// Peak queries/sec across the sweep.
+    pub query_throughput_per_sec: f64,
+    /// Affinity + CLOCK hit ratio at the acceptance point.
+    pub affinity_hit_ratio: f64,
+    /// Contiguous + fill-until-full hit ratio at the acceptance point.
+    pub baseline_hit_ratio: f64,
+}
+
+impl AffinitySnapshot {
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .num("shards", self.shards)
+            .num("stream_len", self.stream_len)
+            .num("working_set", self.working_set)
+            .raw(
+                "sweep",
+                &json::array(self.sweep.iter().map(|p| p.to_json())),
+            )
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("affinity_hit_ratio", self.affinity_hit_ratio)
+            .float("baseline_hit_ratio", self.baseline_hit_ratio)
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_AFFINITY_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_AFFINITY_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

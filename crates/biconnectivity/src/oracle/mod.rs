@@ -569,6 +569,26 @@ impl BiconnQueryKey {
     pub fn biconnected(u: Vertex, v: Vertex) -> Self {
         BiconnQueryKey::Biconnected(u.min(v), u.max(v))
     }
+
+    /// Stable routing hash of this key — the affinity surface predicate
+    /// result caches shard on (see `wec-serve`'s streaming front end).
+    ///
+    /// The owner shard under `s` shards is `route_hash() % s`. Built from
+    /// [`wec_asym::stable_mix64`] over the packed canonical endpoint pair,
+    /// salted per predicate kind so the two predicate key spaces spread
+    /// independently; pinned across runs, platforms, and versions (golden
+    /// cost files depend on the placement). Because the constructors
+    /// canonicalize endpoint order, `(u, v)` and `(v, u)` always route to
+    /// the same shard. Hashing is pure compute on values already in hand;
+    /// the serving layer charges its own per-query routing operation.
+    #[inline]
+    pub fn route_hash(self) -> u64 {
+        let (salt, u, v) = match self {
+            BiconnQueryKey::TwoEdgeConnected(u, v) => (0x2EC0_u64, u, v),
+            BiconnQueryKey::Biconnected(u, v) => (0xB1C0_u64, u, v),
+        };
+        wec_asym::stable_mix64(((u as u64) << 32 | v as u64) ^ salt.rotate_left(48))
+    }
 }
 
 /// A borrowed, copyable query view over a built [`BiconnectivityOracle`].
@@ -619,6 +639,13 @@ impl<'o, 'g, G: GraphView> BiconnQueryHandle<'o, 'g, G> {
             BiconnQueryKey::TwoEdgeConnected(u, v) => self.oracle.two_edge_connected(led, u, v),
             BiconnQueryKey::Biconnected(u, v) => self.oracle.biconnected(led, u, v),
         }
+    }
+
+    /// Stable routing hash of a canonical predicate key — delegates to
+    /// [`BiconnQueryKey::route_hash`]; see there for the affinity contract.
+    #[inline]
+    pub fn route_hash(&self, key: BiconnQueryKey) -> u64 {
+        key.route_hash()
     }
 
     /// Whether `v` is an articulation point.

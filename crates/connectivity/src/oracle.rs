@@ -244,6 +244,21 @@ impl<'o, 'g, G: GraphView> ConnQueryHandle<'o, 'g, G> {
         let (a, b) = self.component_pair(led, u, v);
         a == b
     }
+
+    /// Stable routing hash of a per-vertex cache key — the affinity surface
+    /// result caches shard on (see `wec-serve`'s streaming front end).
+    ///
+    /// The owner shard of vertex `v` under `s` shards is
+    /// `route_hash(v) % s`. The hash is [`wec_asym::stable_mix64`], pinned
+    /// across runs, platforms, and versions: golden cost files record
+    /// charges that depend on this placement, so the mapping is a
+    /// documented contract, not an implementation detail. Hashing is pure
+    /// compute on a value already in hand; the serving layer charges its
+    /// own per-query routing operation.
+    #[inline]
+    pub fn route_hash(&self, v: Vertex) -> u64 {
+        wec_asym::stable_mix64(v as u64)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,252 @@
+//! The per-shard result-cache engine: one unified slot store for both
+//! cacheable key spaces, driven by the [`Eviction`] policy.
+//!
+//! The streaming module documents the externally-visible cost contract;
+//! this module is the deterministic machine that enforces it. Everything
+//! here is a pure function of the probe/fill sequence the owning shard
+//! executes — there is no clock time, no randomness, and no thread
+//! dependence, which is what makes the charges bit-identical across
+//! `WEC_THREADS` settings.
+
+use wec_asym::{CacheTally, FxHashMap};
+use wec_biconnectivity::BiconnQueryKey;
+use wec_connectivity::ComponentId;
+use wec_graph::Vertex;
+
+use crate::streaming::{
+    CacheStats, Eviction, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS,
+};
+
+/// Unified key of one shard-cache entry. The two cacheable key spaces
+/// (per-vertex component memos, canonical biconnectivity predicates) share
+/// one slot budget, exactly as the PR-3 fill-until-full caches shared one
+/// capacity across their two maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKey {
+    /// `Vertex → ComponentId` memo entry.
+    Comp(Vertex),
+    /// Canonical predicate entry.
+    Pred(BiconnQueryKey),
+}
+
+/// The cached value for a [`CacheKey`] (same variant, always).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CacheVal {
+    /// Memoized component id.
+    Comp(ComponentId),
+    /// Memoized predicate answer.
+    Pred(bool),
+}
+
+/// One resident entry: the packed key/value record plus the CLOCK
+/// second-chance bit (unused — never set — under
+/// [`Eviction::FillUntilFull`]).
+#[derive(Debug)]
+struct Slot {
+    key: CacheKey,
+    val: CacheVal,
+    referenced: bool,
+}
+
+/// One shard's result cache: the slot store, its hash index, the CLOCK
+/// hand, and the deferred charge tally. Only the owning shard's worker
+/// ever touches it, and only for the duration of its own chunk.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCache {
+    index: FxHashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+    pub(crate) tally: CacheTally,
+}
+
+impl ShardCache {
+    /// Entries currently resident.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Probe for `key`, charging [`CACHE_PROBE_READS`] to the tally either
+    /// way. Under [`Eviction::Clock`] a hit additionally sets the entry's
+    /// second-chance bit and charges [`CLOCK_TOUCH_OPS`].
+    pub(crate) fn probe(&mut self, key: CacheKey, eviction: Eviction) -> Option<CacheVal> {
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.tally.hit(CACHE_PROBE_READS);
+                if matches!(eviction, Eviction::Clock) {
+                    self.slots[i].referenced = true;
+                    self.tally.touch(CLOCK_TOUCH_OPS);
+                }
+                Some(self.slots[i].val)
+            }
+            None => {
+                self.tally.miss(CACHE_PROBE_READS);
+                None
+            }
+        }
+    }
+
+    /// Fill after a miss. Below `capacity` both policies append the entry
+    /// and charge [`CACHE_INSERT_WRITES`]. At capacity,
+    /// [`Eviction::FillUntilFull`] drops the fill (charging nothing) while
+    /// [`Eviction::Clock`] sweeps the hand for a victim — charging
+    /// [`CLOCK_SWEEP_OPS`] per inspected slot and clearing set
+    /// second-chance bits on the way — then overwrites the victim in place
+    /// for the same single [`CACHE_INSERT_WRITES`]. New entries start with
+    /// the second-chance bit clear, and the hand rests one past the victim.
+    ///
+    /// Callers must not invoke this with `capacity == 0`: the dispatch path
+    /// bypasses the cache entirely in that configuration.
+    pub(crate) fn fill(
+        &mut self,
+        key: CacheKey,
+        val: CacheVal,
+        capacity: usize,
+        eviction: Eviction,
+    ) {
+        debug_assert!(capacity > 0, "capacity-0 dispatch bypasses the cache");
+        if self.slots.len() < capacity {
+            self.tally.insert(CACHE_INSERT_WRITES);
+            self.index.insert(key, self.slots.len());
+            self.slots.push(Slot {
+                key,
+                val,
+                referenced: false,
+            });
+            return;
+        }
+        let Eviction::Clock = eviction else {
+            return; // fill-until-full: a full cache stops filling
+        };
+        let mut swept = 0u64;
+        let victim = loop {
+            swept += 1;
+            let h = self.hand;
+            self.hand = (self.hand + 1) % capacity;
+            if self.slots[h].referenced {
+                self.slots[h].referenced = false;
+            } else {
+                break h;
+            }
+        };
+        self.tally.evict(swept, CLOCK_SWEEP_OPS);
+        self.index.remove(&self.slots[victim].key);
+        self.tally.insert(CACHE_INSERT_WRITES);
+        self.index.insert(key, victim);
+        self.slots[victim] = Slot {
+            key,
+            val,
+            referenced: false,
+        };
+    }
+
+    /// Cumulative counters snapshot.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.tally.hits(),
+            misses: self.tally.misses(),
+            inserts: self.tally.inserts(),
+            evictions: self.tally.evictions(),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_asym::Costs;
+
+    fn k(v: u32) -> CacheKey {
+        CacheKey::Comp(v)
+    }
+
+    fn val() -> CacheVal {
+        CacheVal::Pred(true)
+    }
+
+    #[test]
+    fn fill_until_full_stops_at_capacity() {
+        let mut c = ShardCache::default();
+        for v in 0..5u32 {
+            assert!(c.probe(k(v), Eviction::FillUntilFull).is_none());
+            c.fill(k(v), val(), 3, Eviction::FillUntilFull);
+        }
+        assert_eq!(c.len(), 3, "capacity bounds residency");
+        assert_eq!(c.tally.inserts(), 3);
+        assert_eq!(c.tally.evictions(), 0);
+        assert!(c.probe(k(0), Eviction::FillUntilFull).is_some());
+        assert!(
+            c.probe(k(4), Eviction::FillUntilFull).is_none(),
+            "dropped fill"
+        );
+    }
+
+    #[test]
+    fn clock_evicts_unreferenced_first() {
+        let mut c = ShardCache::default();
+        for v in 0..3u32 {
+            c.probe(k(v), Eviction::Clock);
+            c.fill(k(v), val(), 3, Eviction::Clock);
+        }
+        // Reference 0 and 2; 1 stays clear.
+        c.probe(k(0), Eviction::Clock);
+        c.probe(k(2), Eviction::Clock);
+        // Miss at capacity: hand starts at slot 0 (referenced — cleared),
+        // slot 1 is clear → victim. Sweep inspected 2 slots.
+        c.probe(k(9), Eviction::Clock);
+        c.fill(k(9), val(), 3, Eviction::Clock);
+        assert_eq!(c.tally.evictions(), 1);
+        assert!(c.probe(k(1), Eviction::Clock).is_none(), "1 was evicted");
+        assert!(c.probe(k(0), Eviction::Clock).is_some(), "0 survived");
+        assert!(c.probe(k(2), Eviction::Clock).is_some(), "2 survived");
+        assert!(c.probe(k(9), Eviction::Clock).is_some(), "9 resident");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn clock_charges_exactly_probe_touch_sweep_insert() {
+        let mut c = ShardCache::default();
+        // Two cold fills below capacity 2: 2 probes, 2 inserts.
+        for v in 0..2u32 {
+            c.probe(k(v), Eviction::Clock);
+            c.fill(k(v), val(), 2, Eviction::Clock);
+        }
+        // One hit (probe + touch), then an eviction that must sweep past
+        // the referenced slot 0: clears it (1 op), takes slot 1 (1 op).
+        c.probe(k(0), Eviction::Clock);
+        c.probe(k(7), Eviction::Clock);
+        c.fill(k(7), val(), 2, Eviction::Clock);
+        assert_eq!(
+            c.tally.pending(),
+            Costs {
+                asym_reads: 4 * CACHE_PROBE_READS,
+                asym_writes: 3 * CACHE_INSERT_WRITES,
+                sym_ops: CLOCK_TOUCH_OPS + 2 * CLOCK_SWEEP_OPS,
+            },
+            "exact per-probe / per-touch / per-evict charges"
+        );
+        assert_eq!(c.tally.evictions(), 1);
+    }
+
+    #[test]
+    fn clock_capacity_one_churns_in_place() {
+        let mut c = ShardCache::default();
+        for v in 0..10u32 {
+            assert!(
+                c.probe(k(v), Eviction::Clock).is_none(),
+                "all-distinct churn never hits"
+            );
+            c.fill(k(v), val(), 1, Eviction::Clock);
+            assert_eq!(c.len(), 1);
+        }
+        // First fill is an append; the other 9 each evict the lone
+        // (never-referenced) entry with a single-slot sweep.
+        assert_eq!(c.tally.inserts(), 10);
+        assert_eq!(c.tally.evictions(), 9);
+        assert_eq!(c.tally.pending().sym_ops, 9 * CLOCK_SWEEP_OPS);
+        assert!(
+            c.probe(k(9), Eviction::Clock).is_some(),
+            "last key resident"
+        );
+    }
+}

@@ -44,15 +44,21 @@
 //!
 //! Point-query *streams* (rather than pre-formed batches) enter through
 //! the [`streaming`] module: [`StreamingServer`] coalesces submissions
-//! into micro-batches under an [`AdmissionPolicy`], dispatches them
-//! through this sharded path with per-shard component-keyed result
-//! caches, and delivers answers in submission order. Its exact hit/miss
-//! cost contract is documented in the [`streaming`] module docs.
+//! into micro-batches under an [`AdmissionPolicy`], routes each query to
+//! its owner shard ([`Routing::Affinity`] — a pinned hash of the
+//! canonical cache key, with a documented skew fallback), serves it
+//! against that shard's result cache under a deterministic eviction
+//! policy ([`Eviction::Clock`] second-chance replacement by default), and
+//! delivers answers in submission order. The exact
+//! routing/hit/miss/eviction cost contract is documented in the
+//! [`streaming`] module docs.
 
+mod cache;
 pub mod streaming;
 
 pub use streaming::{
-    AdmissionPolicy, CacheStats, StreamingServer, Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS,
+    AdmissionPolicy, CacheStats, Eviction, Routing, StreamingServer, Ticket, CACHE_INSERT_WRITES,
+    CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS, ROUTE_HASH_OPS,
 };
 
 use wec_asym::Ledger;
@@ -118,6 +124,37 @@ pub fn shard_chunks(n: usize, shards: usize) -> usize {
 ///
 /// Construction is free: the server holds only copyable borrowed handles
 /// and a shard count. See the module docs for the cost contract.
+///
+/// ```
+/// # use wec_asym::Ledger;
+/// # use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+/// # use wec_graph::{gen, Priorities};
+/// use wec_serve::{shard_chunks, Answer, Query, ShardedServer, QUERY_WORDS};
+///
+/// # let g = gen::grid(6, 6);
+/// # let pri = Priorities::random(36, 1);
+/// # let verts: Vec<u32> = (0..36).collect();
+/// # let mut led = Ledger::new(16);
+/// # let oracle = ConnectivityOracle::build(
+/// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
+/// let server = ShardedServer::new(oracle.query_handle(), 3);
+/// let batch = vec![Query::Connected(0, 35), Query::Component(7)];
+///
+/// // Sharded serving charges exactly the one-by-one costs plus the
+/// // documented input-scan reads and split bookkeeping — and no writes.
+/// let mut batch_led = Ledger::new(16);
+/// let answers = server.serve(&mut batch_led, &batch);
+/// assert_eq!(answers[0], Answer::Connected(true), "grid is connected");
+/// let mut one = Ledger::new(16);
+/// for &q in &batch {
+///     server.answer_one(&mut one, q);
+/// }
+/// let expect_reads = one.costs().asym_reads + batch.len() as u64 * QUERY_WORDS;
+/// let expect_ops = one.costs().sym_ops + shard_chunks(batch.len(), 3) as u64 - 1;
+/// assert_eq!(batch_led.costs().asym_reads, expect_reads);
+/// assert_eq!(batch_led.costs().sym_ops, expect_ops);
+/// assert_eq!(batch_led.costs().asym_writes, 0, "queries never write");
+/// ```
 pub struct ShardedServer<'o, 'g, G: GraphView> {
     conn: ConnQueryHandle<'o, 'g, G>,
     bicon: Option<BiconnQueryHandle<'o, 'g, G>>,

@@ -1,15 +1,17 @@
-//! Streaming admission front end with component-keyed result caching.
+//! Streaming admission front end with affinity-routed, eviction-managed
+//! result caching.
 //!
 //! [`super::ShardedServer`] answers pre-formed batches; production traffic
 //! arrives as a *stream* of point queries. [`StreamingServer`] closes that
 //! gap: queries enter through a submission queue, an admission policy
 //! coalesces them into micro-batches, each micro-batch dispatches through
-//! the existing sharded path, and answers are delivered strictly in
-//! submission order via ticketed response reordering.
+//! the sharded path with per-shard result caches, and answers are
+//! delivered strictly in submission order via ticketed response
+//! reordering.
 //!
 //! ## Admission
 //!
-//! [`AdmissionPolicy`] has two knobs:
+//! [`AdmissionPolicy`] has two batching knobs:
 //!
 //! * `max_batch` — the largest micro-batch one dispatch may carry;
 //! * `max_queue` — the queue depth that triggers automatic dispatch: when a
@@ -37,55 +39,135 @@
 //!   endpoint order normalized, so `(u, v)` and `(v, u)` share an entry)
 //!   with the boolean answer as the cached value.
 //!
-//! Shards only ever touch their own cache (a micro-batch of `n` queries
-//! over `s` shards maps chunk `i` to cache `i`, the same deterministic
-//! partition [`super::ShardedServer::serve`] uses), so hit/miss patterns —
-//! and therefore every charge — are a pure function of the submission
-//! sequence, never of thread scheduling.
+//! Both key spaces share one per-shard slot budget
+//! (`AdmissionPolicy::cache_capacity`). Shards only ever touch their own
+//! cache, so hit/miss/eviction patterns — and therefore every charge —
+//! are a pure function of the submission sequence, never of thread
+//! scheduling.
 //!
-//! ## The exact hit/miss cost contract
+//! ## Routing: which shard serves a query
+//!
+//! [`Routing`] selects how a micro-batch of `n` queries maps onto the `s`
+//! shards:
+//!
+//! * [`Routing::Contiguous`] — the PR-3 partition: the batch splits into
+//!   [`super::shard_chunks`]`(n, s)` contiguous chunks of grain `⌈n/s⌉`,
+//!   chunk `i` served by shard `i` against cache `i`. A repeat key hits
+//!   only if its *position* happens to land on a shard that cached it, so
+//!   every shard gradually duplicates the hot key set.
+//! * [`Routing::Affinity`]`{ skew_factor }` (the default) — each query is
+//!   routed to a fixed **owner shard** derived from a pinned hash of its
+//!   canonical cache key, so a repeat key always lands on the shard
+//!   holding its entry and the hot key set is *partitioned* across shards
+//!   instead of duplicated:
+//!   - [`Query::Component`]`(v)` routes by
+//!     [`wec_connectivity::ConnQueryHandle::route_hash`]`(v)`;
+//!   - [`Query::Connected`]`(u, v)` routes by `route_hash(min(u, v))` —
+//!     the canonical endpoint — so `(u, v)` and `(v, u)` co-locate. The
+//!     non-canonical endpoint's memo is cached on (and only useful to)
+//!     that owner shard: a vertex appearing as the larger endpoint of
+//!     several different pairs may be memoized on several shards. Affinity
+//!     guarantees *pair* repeats always hit; per-vertex dedup across
+//!     differing pairs is best-effort;
+//!   - predicates route by [`wec_biconnectivity::BiconnQueryKey::route_hash`]
+//!     on their canonical key.
+//!
+//!   The owner shard is `hash % s`; the hash is
+//!   [`wec_asym::stable_mix64`]-based and **pinned** (golden cost files
+//!   depend on the placement). Routing preserves submission order within
+//!   each shard's group.
+//!
+//!   **Rebalancing fallback:** affinity trades balance for locality, so a
+//!   micro-batch whose keys are pathologically skewed (many repeats of one
+//!   key in a single batch) would serialize on one shard. When the largest
+//!   owner group exceeds `skew_factor × ⌈n/s⌉` entries, the dispatch falls
+//!   back to the contiguous partition **for that micro-batch only** — the
+//!   routing scan is already charged, and the per-query charges revert to
+//!   the contiguous formula below. `skew_factor = 0` falls back on every
+//!   non-trivial batch (useful as a routed-scan baseline); the default is
+//!   4, i.e. tolerate up to 4× the balanced share before rebalancing.
+//!
+//!   With `cache_capacity == 0` there is nothing for affinity to hit, so
+//!   routing is forced to [`Routing::Contiguous`] and the cache is
+//!   bypassed entirely — a dispatch then charges precisely what
+//!   [`super::ShardedServer::serve`] charges for the same batch.
+//!
+//! ## Eviction: what happens when a cache is full
+//!
+//! [`Eviction`] selects the full-cache policy:
+//!
+//! * [`Eviction::FillUntilFull`] — the PR-3 policy: a full cache stops
+//!   filling; resident entries are immortal. Goes cold-dead when the hot
+//!   set shifts after capacity is reached.
+//! * [`Eviction::Clock`] (the default) — deterministic CLOCK
+//!   (second-chance): every resident entry carries one second-chance bit,
+//!   set on each hit. A miss at capacity advances the hand over the slot
+//!   ring, clearing set bits, and evicts the first entry whose bit is
+//!   clear; the replacement record overwrites the victim in place. New
+//!   entries start with the bit clear, and the hand rests one past the
+//!   victim. The second-chance bits are a `⌈capacity/64⌉`-word
+//!   symmetric-memory sideband per shard (within the model's `O(ω log n)`
+//!   symmetric budget for the capacities benchmarked), so touching them
+//!   costs unit operations, never asymmetric traffic.
+//!
+//! ## The exact cost contract
 //!
 //! Dispatching a micro-batch of `n` queries over `s` shards charges
-//! **exactly** (enforced by `tests/streaming.rs` at the workspace root):
+//! **exactly** the following, enforced by `tests/streaming.rs` (legacy
+//! contiguous + fill-until-full) and `tests/affinity.rs` (affinity +
+//! CLOCK) at the workspace root:
 //!
-//! 1. [`super::QUERY_WORDS`] asymmetric reads per query (batch input scan),
-//!    as in the plain sharded path;
-//! 2. [`CACHE_PROBE_READS`] asymmetric reads per probe — one probe for a
-//!    [`Query::Component`] or a biconnectivity-class predicate, two (one
-//!    per endpoint) for a [`Query::Connected`]. A **hit costs nothing
-//!    beyond its probe**;
-//! 3. per **miss**, the full one-by-one cost of the canonical underlying
+//! 1. **routing** (affinity only): [`ROUTE_HASH_OPS`] unit operations per
+//!    query, charged on the dispatching ledger as one sequential routing
+//!    scan (`n` ops, `n` depth) — also charged when the skew fallback
+//!    reverts the batch to the contiguous partition;
+//! 2. [`super::QUERY_WORDS`] asymmetric reads per query (batch input
+//!    scan), charged by the serving shard — group-sized chunks under
+//!    affinity, `⌈n/s⌉`-sized chunks under contiguous; the total is
+//!    `n · QUERY_WORDS` either way;
+//! 3. [`CACHE_PROBE_READS`] asymmetric reads per probe — one probe for a
+//!    [`Query::Component`] or a predicate, two (one per endpoint) for a
+//!    [`Query::Connected`]. Under [`Eviction::Clock`] a **hit**
+//!    additionally charges [`CLOCK_TOUCH_OPS`] unit operations (setting
+//!    the second-chance bit); under [`Eviction::FillUntilFull`] a hit
+//!    costs nothing beyond its probe;
+//! 4. per **miss**, the full one-by-one cost of the canonical underlying
 //!    query — `component(x)` for a missing endpoint memo, the
-//!    canonical-order predicate for a missing [`wec_biconnectivity::BiconnQueryKey`] —
-//!    charged by the oracle itself, identical to an uncached call;
-//! 4. [`CACHE_INSERT_WRITES`] asymmetric writes per cache fill (every miss
-//!    fills unless the shard cache is at `cache_capacity`; there is no
-//!    eviction, a full cache simply stops filling). Cache fills are the
-//!    *only* writes the serving layer ever performs — the write-efficiency
-//!    trade: one `ω`-cost write buys all future probes of that key;
-//! 5. `shard_chunks(n, s) − 1` unit operations of scheduler bookkeeping,
-//!    as in the plain sharded path.
+//!    canonical-order predicate for a missing key — charged by the oracle
+//!    itself, identical to an uncached call;
+//! 5. per **fill**: below capacity, [`CACHE_INSERT_WRITES`] asymmetric
+//!    writes (both policies). At capacity, [`Eviction::FillUntilFull`]
+//!    charges nothing (the fill is dropped) while [`Eviction::Clock`]
+//!    charges [`CLOCK_SWEEP_OPS`] unit operations per slot the hand
+//!    inspects (victim included) **plus** the same single
+//!    [`CACHE_INSERT_WRITES`] for the in-place overwrite. Cache fills are
+//!    the *only* asymmetric writes the serving layer ever performs, under
+//!    every policy combination;
+//! 6. scheduler bookkeeping: under contiguous routing,
+//!    `shard_chunks(n, s) − 1` unit operations and `⌈log₂ chunks⌉` depth;
+//!    under affinity routing, exactly `s` chunks always run (empty groups
+//!    charge nothing inside), so `s − 1` unit operations and `⌈log₂ s⌉`
+//!    depth.
 //!
-//! Probe/hit/insert charges are tallied per shard through
+//! Probe/hit/miss/insert/evict charges are tallied per shard through
 //! [`wec_asym::CacheTally`] and flushed once per shard per dispatch, which
 //! charges exactly what the per-item calls would have (the tally's linear
-//! deferral contract). With `cache_capacity == 0` the cache is bypassed
-//! entirely — no probes, no fills — and a dispatch charges precisely what
-//! [`super::ShardedServer::serve`] charges for the same batch.
+//! deferral contract).
 //!
-//! Because the merge runs in chunk index order, the total `Costs`, depth,
-//! and symmetric-memory peak of any submit/flush/drain sequence are
-//! **bit-identical across `WEC_THREADS` settings**; CI pins this with the
-//! {1, 2, 8} matrix.
+//! Because routing, grouping, and the merge all run in deterministic
+//! orders, the total `Costs`, depth, and symmetric-memory peak of any
+//! submit/flush/drain sequence are **bit-identical across `WEC_THREADS`
+//! settings**; CI pins this with the {1, 2, 8} matrix.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
-use wec_asym::{CacheTally, Ledger};
+use wec_asym::Ledger;
 use wec_biconnectivity::BiconnQueryKey;
 use wec_connectivity::ComponentId;
 use wec_graph::{GraphView, Vertex};
 
+use crate::cache::{CacheKey, CacheVal, ShardCache};
 use crate::{Answer, Query, ShardedServer, QUERY_WORDS};
 
 /// Asymmetric reads charged per result-cache probe (hash the key, inspect
@@ -93,11 +175,95 @@ use crate::{Answer, Query, ShardedServer, QUERY_WORDS};
 pub const CACHE_PROBE_READS: u64 = 1;
 
 /// Asymmetric words written per result-cache fill (the packed key/value
-/// record).
+/// record; an evicting fill overwrites the victim in place for the same
+/// charge).
 pub const CACHE_INSERT_WRITES: u64 = 1;
 
-/// When micro-batches form and how much each shard may cache. See the
-/// module docs for the exact semantics of each knob.
+/// Unit operations charged per query by the affinity routing scan
+/// (hashing the canonical key and bucketing the query to its owner
+/// shard).
+pub const ROUTE_HASH_OPS: u64 = 1;
+
+/// Unit operations charged per CLOCK hit for setting the entry's
+/// second-chance bit (a symmetric-memory sideband access).
+pub const CLOCK_TOUCH_OPS: u64 = 1;
+
+/// Unit operations charged per slot the CLOCK hand inspects while hunting
+/// a victim (reading the second-chance bit and clearing it when set).
+pub const CLOCK_SWEEP_OPS: u64 = 1;
+
+/// How a micro-batch's queries map onto shards. See the module docs for
+/// the full routing contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// The PR-3 partition: contiguous `⌈n/s⌉`-sized chunks, chunk `i`
+    /// served by shard `i`. Repeat keys hit a cache only when their batch
+    /// position lands them on the shard that cached them.
+    Contiguous,
+    /// Hash each query's canonical cache key to a fixed owner shard, so
+    /// repeat keys always land on the shard holding their entry. Falls
+    /// back to [`Routing::Contiguous`] for any micro-batch whose largest
+    /// owner group exceeds `skew_factor × ⌈n/s⌉` queries.
+    Affinity {
+        /// Skew tolerance: how many times the balanced per-shard share
+        /// (`⌈n/s⌉`) one owner group may reach before the batch is
+        /// rebalanced onto the contiguous partition. `0` rebalances every
+        /// non-trivial batch.
+        skew_factor: u32,
+    },
+}
+
+/// What a shard cache does when a fill arrives at capacity. See the module
+/// docs for the per-policy charge formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// The PR-3 policy: a full cache stops filling (resident entries are
+    /// immortal).
+    FillUntilFull,
+    /// Deterministic CLOCK second-chance replacement: hits set a
+    /// second-chance bit, a full-cache fill sweeps the hand to the first
+    /// clear entry and overwrites it in place.
+    Clock,
+}
+
+/// When micro-batches form, how queries route to shards, how much each
+/// shard may cache, and how full caches evict. See the module docs for the
+/// exact semantics of each knob.
+///
+/// ```
+/// # use wec_asym::Ledger;
+/// # use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+/// # use wec_graph::{gen, Priorities};
+/// use wec_serve::{AdmissionPolicy, Eviction, Query, Routing, ShardedServer, StreamingServer};
+///
+/// # let g = gen::grid(6, 6);
+/// # let pri = Priorities::random(36, 1);
+/// # let verts: Vec<u32> = (0..36).collect();
+/// # let mut led = Ledger::new(16);
+/// # let oracle = ConnectivityOracle::build(
+/// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
+/// // Two-slot caches under CLOCK: a shifting hot set keeps hitting
+/// // because stale entries are evicted instead of squatting forever.
+/// let policy = AdmissionPolicy::new(8, 32)
+///     .with_cache_capacity(2)
+///     .with_routing(Routing::Affinity { skew_factor: 4 })
+///     .with_eviction(Eviction::Clock);
+/// assert_eq!(policy.eviction, Eviction::Clock);
+///
+/// let sharded = ShardedServer::new(oracle.query_handle(), 2);
+/// let mut srv = StreamingServer::new(sharded, policy);
+/// let mut qled = Ledger::new(16);
+/// for phase in 0u32..4 {
+///     for _ in 0..4 {
+///         srv.submit(&mut qled, Query::Component(phase)); // hot key of this phase
+///         srv.submit(&mut qled, Query::Component(30 + phase)); // one-off churn
+///     }
+/// }
+/// srv.drain(&mut qled);
+/// let stats = srv.cache_stats();
+/// assert!(stats.evictions > 0, "churn past capacity must evict");
+/// assert!(stats.hits > stats.misses, "per-phase hot keys keep hitting");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Largest micro-batch a single dispatch may carry (at least 1).
@@ -108,11 +274,15 @@ pub struct AdmissionPolicy {
     /// Per-shard result-cache entry budget; 0 disables caching entirely
     /// (dispatches then cost exactly [`ShardedServer::serve`]).
     pub cache_capacity: usize,
+    /// How queries map onto shards (default: affinity with skew factor 4).
+    pub routing: Routing,
+    /// Full-cache replacement policy (default: CLOCK).
+    pub eviction: Eviction,
 }
 
 impl AdmissionPolicy {
     /// A policy with the given batching knobs (clamped to at least 1) and
-    /// the default cache capacity.
+    /// the default cache capacity, routing, and eviction policy.
     pub fn new(max_batch: usize, max_queue: usize) -> Self {
         AdmissionPolicy {
             max_batch: max_batch.max(1),
@@ -126,6 +296,18 @@ impl AdmissionPolicy {
         self.cache_capacity = cache_capacity;
         self
     }
+
+    /// The same policy with the given shard [`Routing`].
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// The same policy with the given [`Eviction`] policy.
+    pub fn with_eviction(mut self, eviction: Eviction) -> Self {
+        self.eviction = eviction;
+        self
+    }
 }
 
 impl Default for AdmissionPolicy {
@@ -134,6 +316,8 @@ impl Default for AdmissionPolicy {
             max_batch: 256,
             max_queue: 1024,
             cache_capacity: 1 << 16,
+            routing: Routing::Affinity { skew_factor: 4 },
+            eviction: Eviction::Clock,
         }
     }
 }
@@ -159,8 +343,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Probes that did not.
     pub misses: u64,
-    /// Cache fills performed (≤ misses; a full cache stops filling).
+    /// Cache fills performed (≤ misses; a fill-until-full cache at
+    /// capacity stops filling, a CLOCK cache keeps filling by evicting).
     pub inserts: u64,
+    /// Entries evicted by the CLOCK hand (0 under fill-until-full).
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
 }
@@ -173,31 +360,6 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / probes as f64
-        }
-    }
-}
-
-/// One shard's result cache: the component memo, the predicate cache, and
-/// the deferred charge tally. Only the owning shard's worker ever locks it,
-/// and only for the duration of its own chunk.
-#[derive(Debug, Default)]
-struct ShardCache {
-    comp: wec_asym::FxHashMap<Vertex, ComponentId>,
-    pred: wec_asym::FxHashMap<BiconnQueryKey, bool>,
-    tally: CacheTally,
-}
-
-impl ShardCache {
-    fn len(&self) -> usize {
-        self.comp.len() + self.pred.len()
-    }
-
-    fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.tally.hits(),
-            misses: self.tally.misses(),
-            inserts: self.tally.inserts(),
-            entries: self.len() as u64,
         }
     }
 }
@@ -245,7 +407,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         let policy = AdmissionPolicy {
             max_batch: policy.max_batch.max(1),
             max_queue: policy.max_queue.max(1),
-            cache_capacity: policy.cache_capacity,
+            ..policy
         };
         let caches = (0..server.shards())
             .map(|_| Mutex::new(ShardCache::default()))
@@ -274,6 +436,21 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     /// Answers computed but not yet delivered through [`Self::try_next`].
     pub fn ready_len(&self) -> usize {
         self.ready.len()
+    }
+
+    /// The owner shard of `q` under affinity routing: the pinned stable
+    /// hash of the query's canonical cache key, modulo the shard count.
+    /// Pure compute; the dispatch path charges [`ROUTE_HASH_OPS`] per
+    /// query for the routing scan.
+    pub fn owner_shard(&self, q: Query) -> usize {
+        let conn = self.server.conn_handle();
+        let h = match q {
+            Query::Component(v) => conn.route_hash(v),
+            Query::Connected(u, v) => conn.route_hash(u.min(v)),
+            Query::TwoEdgeConnected(u, v) => BiconnQueryKey::two_edge_connected(u, v).route_hash(),
+            Query::Biconnected(u, v) => BiconnQueryKey::biconnected(u, v).route_hash(),
+        };
+        (h % self.server.shards() as u64) as usize
     }
 
     /// Admit one query. If this brings the queue to the policy's
@@ -340,6 +517,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             agg.hits += s.hits;
             agg.misses += s.misses;
             agg.inserts += s.inserts;
+            agg.evictions += s.evictions;
             agg.entries += s.entries;
         }
         agg
@@ -353,12 +531,66 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             .stats()
     }
 
-    /// Serve one micro-batch through the sharded path with per-shard
-    /// caches, parking the answers in the reorder buffer.
+    /// Serve one micro-batch, parking the answers in the reorder buffer.
+    /// Affinity routing groups queries by owner shard (falling back to the
+    /// contiguous partition on skew); see the module-level cost contract.
     fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
         let n = batch.len();
+        let s = self.server.shards();
+        let skew_factor = match self.policy.routing {
+            Routing::Affinity { skew_factor } if self.policy.cache_capacity > 0 => skew_factor,
+            _ => {
+                self.dispatch_contiguous(led, batch);
+                return;
+            }
+        };
+        // The routing scan: hash every query's canonical key once.
+        led.op(n as u64 * ROUTE_HASH_OPS);
+        let mut groups: Vec<Vec<(u64, Query)>> = (0..s).map(|_| Vec::new()).collect();
+        for &(t, q) in batch {
+            groups[self.owner_shard(q)].push((t, q));
+        }
+        let max_group = groups.iter().map(Vec::len).max().unwrap_or(0);
+        if max_group > skew_factor as usize * n.div_ceil(s) {
+            // Rebalancing fallback: this batch's keys are skewed past the
+            // policy threshold, so affinity would serialize on one shard.
+            // The routing ops above stay charged; everything else reverts
+            // to the contiguous formula.
+            self.dispatch_contiguous(led, batch);
+            return;
+        }
+        let (server, caches) = (&self.server, &self.caches);
+        let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
+        // Exactly s chunks, chunk i = shard i serving its own group.
+        let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(s, 1, &|r, scope| {
+            let shard = r.start;
+            let group = &groups[shard];
+            scope.read(group.len() as u64 * QUERY_WORDS);
+            let mut cache = caches[shard].lock().expect("shard cache poisoned");
+            let mut out = Vec::with_capacity(group.len());
+            for &(t, q) in group {
+                out.push((
+                    t,
+                    answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q),
+                ));
+            }
+            cache.tally.flush(scope);
+            out
+        });
+        for p in parts {
+            for (t, a) in p {
+                self.ready.insert(t, a);
+            }
+        }
+    }
+
+    /// The PR-3 dispatch: contiguous chunk `i` → shard `i` → cache `i`,
+    /// with the cache bypassed entirely at capacity 0.
+    fn dispatch_contiguous(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
+        let n = batch.len();
         let grain = n.div_ceil(self.server.shards());
-        let (server, caches, cap) = (&self.server, &self.caches, self.policy.cache_capacity);
+        let (server, caches) = (&self.server, &self.caches);
+        let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
         let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(n, grain, &|r, scope| {
             // Same bulk input-scan charge as the batch path.
             scope.read(r.len() as u64 * QUERY_WORDS);
@@ -373,7 +605,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
                 let a = if cap == 0 {
                     server.answer_one(scope.ledger(), q)
                 } else {
-                    answer_cached(server, scope.ledger(), &mut cache, cap, q)
+                    answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q)
                 };
                 out.push((t, a));
             }
@@ -389,21 +621,24 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
 }
 
 /// Answer one query through the shard's cache, charging exactly the
-/// module-level hit/miss contract (items 2–4).
+/// module-level hit/miss/eviction contract (items 3–5).
 fn answer_cached<G: GraphView>(
     server: &ShardedServer<'_, '_, G>,
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
+    eviction: Eviction,
     q: Query,
 ) -> Answer {
     match q {
-        Query::Component(v) => Answer::Component(memo_component(server, led, cache, capacity, v)),
+        Query::Component(v) => {
+            Answer::Component(memo_component(server, led, cache, capacity, eviction, v))
+        }
         Query::Connected(u, v) => {
             // The answer is derived from the memoized ComponentId pair; the
             // comparison is free, as in ConnQueryHandle::component_pair.
-            let a = memo_component(server, led, cache, capacity, u);
-            let b = memo_component(server, led, cache, capacity, v);
+            let a = memo_component(server, led, cache, capacity, eviction, u);
+            let b = memo_component(server, led, cache, capacity, eviction, v);
             Answer::Connected(a == b)
         }
         Query::TwoEdgeConnected(u, v) => Answer::TwoEdgeConnected(memo_pred(
@@ -411,6 +646,7 @@ fn answer_cached<G: GraphView>(
             led,
             cache,
             capacity,
+            eviction,
             BiconnQueryKey::two_edge_connected(u, v),
         )),
         Query::Biconnected(u, v) => Answer::Biconnected(memo_pred(
@@ -418,6 +654,7 @@ fn answer_cached<G: GraphView>(
             led,
             cache,
             capacity,
+            eviction,
             BiconnQueryKey::biconnected(u, v),
         )),
     }
@@ -428,18 +665,17 @@ fn memo_component<G: GraphView>(
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
+    eviction: Eviction,
     v: Vertex,
 ) -> ComponentId {
-    if let Some(&id) = cache.comp.get(&v) {
-        cache.tally.hit(CACHE_PROBE_READS);
+    if let Some(hit) = cache.probe(CacheKey::Comp(v), eviction) {
+        let CacheVal::Comp(id) = hit else {
+            unreachable!("component key holds a component value")
+        };
         return id;
     }
-    cache.tally.miss(CACHE_PROBE_READS);
     let id = server.conn_handle().component(led, v);
-    if cache.len() < capacity {
-        cache.tally.insert(CACHE_INSERT_WRITES);
-        cache.comp.insert(v, id);
-    }
+    cache.fill(CacheKey::Comp(v), CacheVal::Comp(id), capacity, eviction);
     id
 }
 
@@ -448,20 +684,19 @@ fn memo_pred<G: GraphView>(
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
+    eviction: Eviction,
     key: BiconnQueryKey,
 ) -> bool {
-    if let Some(&ans) = cache.pred.get(&key) {
-        cache.tally.hit(CACHE_PROBE_READS);
+    if let Some(hit) = cache.probe(CacheKey::Pred(key), eviction) {
+        let CacheVal::Pred(ans) = hit else {
+            unreachable!("predicate key holds a predicate value")
+        };
         return ans;
     }
-    cache.tally.miss(CACHE_PROBE_READS);
     let ans = server
         .bicon_handle()
         .expect("server was built without a biconnectivity oracle")
         .answer_key(led, key);
-    if cache.len() < capacity {
-        cache.tally.insert(CACHE_INSERT_WRITES);
-        cache.pred.insert(key, ans);
-    }
+    cache.fill(CacheKey::Pred(key), CacheVal::Pred(ans), capacity, eviction);
     ans
 }

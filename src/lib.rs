@@ -28,8 +28,10 @@
 //! * [`serve`] — the serving layer over both oracles: sharded batch
 //!   queries fanned out across per-shard ledger scopes, plus the streaming
 //!   admission front end (micro-batch coalescing, submission-order
-//!   delivery, per-shard component-keyed result caches with an exact
-//!   hit/miss cost contract).
+//!   delivery, per-shard result caches with affinity routing — repeat
+//!   keys always land on the shard holding their entry — and
+//!   deterministic CLOCK eviction, all under an exact, test-enforced
+//!   cost contract).
 //!
 //! ## Quickstart
 //!

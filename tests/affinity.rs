@@ -1,0 +1,590 @@
+//! The affinity-routing + CLOCK-eviction contracts, exactly:
+//!
+//! 1. the documented affinity + CLOCK cost formula holds **exactly** —
+//!    routing scan ops + per-shard input scan + probes + CLOCK touch ops
+//!    on hits + full canonical miss costs + insert writes + per-evict
+//!    sweep ops + the `s − 1` bookkeeping — verified cold and warm
+//!    against an independent replay that re-implements the owner-shard
+//!    hash and the CLOCK machine from the documented formulas alone;
+//! 2. every charge is **bit-identical** between parallel and sequential
+//!    ledgers; CI runs this file under `WEC_THREADS ∈ {1, 2, 8}`;
+//! 3. eviction edge cases behave: capacity 0 bypasses the cache and
+//!    charges exactly the sharded batch path, capacity 1 churns in place,
+//!    and an adversarial all-distinct key stream pins hit rate 0 with
+//!    exact counter identities;
+//! 4. the skew fallback is exact: a pathologically skewed stream charges
+//!    the contiguous dispatch plus the already-spent routing scan;
+//! 5. **the capacity-pressure acceptance claim**: on a 94%-hot stream
+//!    with total cache capacity ≤ 25% of the working set, affinity
+//!    routing + CLOCK sustains a strictly higher cumulative hit ratio
+//!    than the PR-3 contiguous + fill-until-full baseline.
+
+use wec::asym::{stable_mix64, Costs, Ledger};
+use wec::biconnectivity::oracle::build_biconnectivity_oracle;
+use wec::biconnectivity::{BiconnQueryKey, BiconnectivityOracle};
+use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
+use wec::core::BuildOpts;
+use wec::graph::{gen, Csr, Priorities, Vertex};
+use wec::serve::{
+    AdmissionPolicy, Eviction, Query, Routing, ShardedServer, StreamingServer, CACHE_INSERT_WRITES,
+    CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS, QUERY_WORDS, ROUTE_HASH_OPS,
+};
+
+const OMEGA: u64 = 64;
+const SHARDS: usize = 4;
+
+fn test_graph() -> Csr {
+    gen::disjoint_union(&[
+        &gen::bounded_degree_connected(700, 4, 150, 11),
+        &gen::grid(8, 9),
+        &gen::path(13),
+        &Csr::from_edges(4, &[]),
+    ])
+}
+
+fn build_oracles<'g>(
+    g: &'g Csr,
+    pri: &'g Priorities,
+    verts: &'g [Vertex],
+) -> (ConnectivityOracle<'g, Csr>, BiconnectivityOracle<'g, Csr>) {
+    let mut led = Ledger::new(OMEGA);
+    let k = led.sqrt_omega();
+    let conn = ConnectivityOracle::build(&mut led, g, pri, verts, k, 5, OracleBuildOpts::default());
+    let bicon = build_biconnectivity_oracle(&mut led, g, pri, verts, k, 5, BuildOpts::default());
+    (conn, bicon)
+}
+
+fn streaming_server<'o, 'g>(
+    conn: &'o ConnectivityOracle<'g, Csr>,
+    bicon: &'o BiconnectivityOracle<'g, Csr>,
+    policy: AdmissionPolicy,
+) -> StreamingServer<'o, 'g, Csr> {
+    let sharded =
+        ShardedServer::new(conn.query_handle(), SHARDS).with_biconnectivity(bicon.query_handle());
+    StreamingServer::new(sharded, policy)
+}
+
+/// A deterministic mixed stream over a narrow vertex range (repetition =>
+/// hits) — same generator family as the other serving tests.
+fn mixed_stream(range: u32, len: usize, salt: u32) -> Vec<Query> {
+    let mut v = salt;
+    let mut step = move || {
+        v = v.wrapping_mul(2654435761).wrapping_add(12345);
+        v
+    };
+    (0..len)
+        .map(|_| {
+            let r = step();
+            let a = step() % range;
+            let b = (step() >> 7) % range;
+            match r % 6 {
+                0 | 1 => Query::Connected(a, b),
+                2 | 3 => Query::Component(a),
+                4 => Query::TwoEdgeConnected(a, b),
+                _ => Query::Biconnected(a, b),
+            }
+        })
+        .collect()
+}
+
+/// The documented owner-shard map, re-derived from the formulas in the
+/// module docs (NOT by calling `StreamingServer::owner_shard`): the pinned
+/// stable mix of the canonical cache key, modulo the shard count.
+fn replay_owner(q: Query) -> usize {
+    let h = match q {
+        Query::Component(v) => stable_mix64(v as u64),
+        Query::Connected(u, v) => stable_mix64(u.min(v) as u64),
+        Query::TwoEdgeConnected(u, v) => {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            stable_mix64((a << 32 | b) ^ 0x2EC0_u64.rotate_left(48))
+        }
+        Query::Biconnected(u, v) => {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            stable_mix64((a << 32 | b) ^ 0xB1C0_u64.rotate_left(48))
+        }
+    };
+    (h % SHARDS as u64) as usize
+}
+
+/// One simulated cache key (mirror of the serving layer's unified keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimKey {
+    Comp(Vertex),
+    Pred(BiconnQueryKey),
+}
+
+/// Independent CLOCK machine: a slot ring with second-chance bits and a
+/// hand, re-implemented from the documented policy alone.
+#[derive(Default)]
+struct SimClock {
+    slots: Vec<(SimKey, bool)>,
+    hand: usize,
+}
+
+impl SimClock {
+    /// Probe; on hit set the second-chance bit.
+    fn probe(&mut self, key: SimKey) -> bool {
+        if let Some(i) = self.slots.iter().position(|&(k, _)| k == key) {
+            self.slots[i].1 = true;
+            return true;
+        }
+        false
+    }
+
+    /// Fill after a miss, returning the sweep length (0 = appended below
+    /// capacity).
+    fn fill(&mut self, key: SimKey, capacity: usize) -> u64 {
+        if self.slots.len() < capacity {
+            self.slots.push((key, false));
+            return 0;
+        }
+        let mut swept = 0u64;
+        loop {
+            swept += 1;
+            let h = self.hand;
+            self.hand = (self.hand + 1) % capacity;
+            if self.slots[h].1 {
+                self.slots[h].1 = false;
+            } else {
+                self.slots[h] = (key, false);
+                return swept;
+            }
+        }
+    }
+}
+
+/// Replay the affinity + CLOCK cost formula over one pass of the stream:
+/// consecutive `max_batch`-sized micro-batches, owner-shard grouping (the
+/// replay asserts no batch trips the skew fallback), per-shard CLOCK
+/// simulation, and the miss costs priced by one-by-one canonical queries
+/// on fresh ledgers. `sims` carries per-shard CLOCK state in and out so a
+/// second call prices the warmed pass.
+fn replay_affinity_clock(
+    server1: &ShardedServer<'_, '_, Csr>,
+    stream: &[Query],
+    max_batch: usize,
+    capacity: usize,
+    skew_factor: u32,
+    sims: &mut [SimClock],
+) -> Costs {
+    let mut expect = Costs::ZERO;
+    for batch in stream.chunks(max_batch) {
+        let n = batch.len();
+        expect.sym_ops += n as u64 * ROUTE_HASH_OPS; // routing scan
+        expect.sym_ops += SHARDS as u64 - 1; // split bookkeeping: s chunks
+        expect.asym_reads += n as u64 * QUERY_WORDS; // per-shard input scans
+        let mut group_sizes = [0usize; SHARDS];
+        for &q in batch {
+            group_sizes[replay_owner(q)] += 1;
+        }
+        let max_group = *group_sizes.iter().max().unwrap();
+        assert!(
+            max_group <= skew_factor as usize * n.div_ceil(SHARDS),
+            "replay assumes no skew fallback; pick a less skewed stream"
+        );
+        for &q in batch {
+            let sim = &mut sims[replay_owner(q)];
+            let mut led = Ledger::new(OMEGA);
+            let mut memo = |sim: &mut SimClock, led: &mut Ledger, key: SimKey| {
+                expect.asym_reads += CACHE_PROBE_READS;
+                if sim.probe(key) {
+                    expect.sym_ops += CLOCK_TOUCH_OPS;
+                    return;
+                }
+                match key {
+                    SimKey::Comp(x) => {
+                        server1.conn_handle().component(led, x);
+                    }
+                    SimKey::Pred(k) => {
+                        server1.bicon_handle().unwrap().answer_key(led, k);
+                    }
+                }
+                let swept = sim.fill(key, capacity);
+                expect.sym_ops += swept * CLOCK_SWEEP_OPS;
+                expect.asym_writes += CACHE_INSERT_WRITES;
+            };
+            match q {
+                Query::Component(v) => memo(sim, &mut led, SimKey::Comp(v)),
+                Query::Connected(u, v) => {
+                    memo(sim, &mut led, SimKey::Comp(u));
+                    memo(sim, &mut led, SimKey::Comp(v));
+                }
+                Query::TwoEdgeConnected(u, v) => memo(
+                    sim,
+                    &mut led,
+                    SimKey::Pred(BiconnQueryKey::two_edge_connected(u, v)),
+                ),
+                Query::Biconnected(u, v) => memo(
+                    sim,
+                    &mut led,
+                    SimKey::Pred(BiconnQueryKey::biconnected(u, v)),
+                ),
+            }
+            expect += led.costs();
+        }
+    }
+    expect
+}
+
+#[test]
+fn affinity_clock_contract_exact_cold_then_warm() {
+    let g = test_graph();
+    let n = g.n();
+    let pri = Priorities::random(n, 11);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    // Narrow range => repetition; small capacity => real evictions.
+    let stream = mixed_stream(120, 260, 0xAF1);
+    let (max_batch, capacity, skew) = (64usize, 24usize, 4u32);
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::new(max_batch, 10_000)
+            .with_cache_capacity(capacity)
+            .with_routing(Routing::Affinity { skew_factor: skew })
+            .with_eviction(Eviction::Clock),
+    );
+    let server1 =
+        ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
+
+    // Cold pass.
+    let mut cold = Ledger::new(OMEGA);
+    for &q in &stream {
+        srv.submit(&mut cold, q);
+    }
+    srv.drain(&mut cold);
+    assert_eq!(srv.take_ready().len(), stream.len());
+
+    let mut sims: Vec<SimClock> = (0..SHARDS).map(|_| SimClock::default()).collect();
+    let expect_cold =
+        replay_affinity_clock(&server1, &stream, max_batch, capacity, skew, &mut sims);
+    assert_eq!(cold.costs(), expect_cold, "cold-pass formula mismatch");
+
+    let stats = srv.cache_stats();
+    assert!(stats.hits > 0, "repetitive stream must hit even cold");
+    assert!(stats.evictions > 0, "capacity pressure must evict");
+    assert_eq!(
+        cold.costs().asym_writes,
+        stats.inserts * CACHE_INSERT_WRITES,
+        "cache fills are the only writes, evictions included"
+    );
+
+    // Warm pass over the same stream and surviving CLOCK state.
+    let mut warm = Ledger::new(OMEGA);
+    for &q in &stream {
+        srv.submit(&mut warm, q);
+    }
+    srv.drain(&mut warm);
+    assert_eq!(srv.take_ready().len(), stream.len());
+
+    let expect_warm =
+        replay_affinity_clock(&server1, &stream, max_batch, capacity, skew, &mut sims);
+    assert_eq!(warm.costs(), expect_warm, "warm-pass formula mismatch");
+    let warm_stats = srv.cache_stats();
+    assert!(
+        warm_stats.hits > stats.hits,
+        "warm pass must add hits on surviving entries"
+    );
+}
+
+#[test]
+fn affinity_clock_bit_identical_across_parallelism() {
+    let g = test_graph();
+    let n = g.n();
+    let pri = Priorities::random(n, 11);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    let stream = mixed_stream(n as u32, 300, 0xD1CE);
+    let run = |mut led: Ledger| {
+        let mut srv = streaming_server(
+            &conn,
+            &bicon,
+            AdmissionPolicy::new(32, 64)
+                .with_cache_capacity(16) // small: evictions exercised
+                .with_routing(Routing::Affinity { skew_factor: 4 })
+                .with_eviction(Eviction::Clock),
+        );
+        for &q in &stream {
+            srv.submit(&mut led, q);
+        }
+        srv.drain(&mut led);
+        let answers: Vec<(u64, _)> = srv
+            .take_ready()
+            .into_iter()
+            .map(|(t, a)| (t.id(), a))
+            .collect();
+        let s = srv.cache_stats();
+        (
+            answers,
+            (s.hits, s.misses, s.inserts, s.evictions, s.entries),
+            led.costs(),
+            led.depth(),
+            led.sym_peak(),
+        )
+    };
+    let par = run(Ledger::new(OMEGA));
+    let seq = run(Ledger::sequential(OMEGA));
+    assert_eq!(
+        par, seq,
+        "affinity+CLOCK not bit-identical across parallelism"
+    );
+}
+
+#[test]
+fn capacity_zero_bypasses_cache_even_under_affinity_clock() {
+    let g = test_graph();
+    let n = g.n();
+    let pri = Priorities::random(n, 11);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    let stream = mixed_stream(n as u32, 120, 0xCAFE);
+    let max_batch = 40usize;
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::new(max_batch, 10_000)
+            .with_cache_capacity(0)
+            .with_routing(Routing::Affinity { skew_factor: 4 })
+            .with_eviction(Eviction::Clock),
+    );
+    let mut led = Ledger::new(OMEGA);
+    for &q in &stream {
+        srv.submit(&mut led, q);
+    }
+    srv.drain(&mut led);
+    assert_eq!(srv.take_ready().len(), stream.len());
+    let stats = srv.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.inserts, stats.evictions),
+        (0, 0, 0, 0),
+        "capacity 0 must not touch any cache machinery"
+    );
+
+    // Nothing to hit => routing is forced contiguous and the dispatch
+    // charges exactly the plain sharded batch path.
+    let sharded =
+        ShardedServer::new(conn.query_handle(), SHARDS).with_biconnectivity(bicon.query_handle());
+    let mut expect = Ledger::new(OMEGA);
+    for chunk in stream.chunks(max_batch) {
+        sharded.serve(&mut expect, chunk);
+    }
+    assert_eq!(led.costs(), expect.costs());
+    assert_eq!(led.depth(), expect.depth());
+}
+
+#[test]
+fn capacity_one_churns_in_place_and_stays_correct() {
+    let g = test_graph();
+    let n = g.n();
+    let pri = Priorities::random(n, 11);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    let stream = mixed_stream(60, 200, 0x01E);
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::new(32, 64)
+            .with_cache_capacity(1)
+            .with_routing(Routing::Affinity { skew_factor: 4 })
+            .with_eviction(Eviction::Clock),
+    );
+    let mut led = Ledger::new(OMEGA);
+    for &q in &stream {
+        srv.submit(&mut led, q);
+    }
+    srv.drain(&mut led);
+    let delivered = srv.take_ready();
+    assert_eq!(delivered.len(), stream.len());
+
+    let mut total_entries = 0;
+    for shard in 0..SHARDS {
+        let s = srv.shard_cache_stats(shard);
+        assert!(s.entries <= 1, "shard {shard} exceeds capacity 1");
+        assert_eq!(
+            s.evictions,
+            s.inserts - s.entries,
+            "every fill past the first evicts the lone entry (shard {shard})"
+        );
+        total_entries += s.entries;
+    }
+    assert!(total_entries > 0, "something must be resident");
+
+    let server1 =
+        ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
+    for (i, (_, a)) in delivered.iter().enumerate() {
+        let mut one = Ledger::new(OMEGA);
+        assert_eq!(*a, server1.answer_one(&mut one, stream[i]), "answer {i}");
+    }
+}
+
+#[test]
+fn adversarial_churn_all_distinct_keys_hit_rate_zero() {
+    let g = test_graph();
+    let n = g.n() as u32;
+    let pri = Priorities::random(n as usize, 11);
+    let verts: Vec<Vertex> = (0..n).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    // Every key distinct: one Component query per vertex, no repeats.
+    let stream: Vec<Query> = (0..n).map(Query::Component).collect();
+    let capacity = 8usize;
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::new(64, 10_000)
+            .with_cache_capacity(capacity)
+            .with_routing(Routing::Affinity { skew_factor: 4 })
+            .with_eviction(Eviction::Clock),
+    );
+    let mut led = Ledger::new(OMEGA);
+    for &q in &stream {
+        srv.submit(&mut led, q);
+    }
+    srv.drain(&mut led);
+    assert_eq!(srv.take_ready().len(), stream.len());
+
+    let stats = srv.cache_stats();
+    assert_eq!(stats.hits, 0, "all-distinct churn can never hit");
+    assert_eq!(stats.hit_ratio(), 0.0);
+    assert_eq!(stats.misses, n as u64);
+    assert_eq!(stats.inserts, n as u64, "CLOCK fills on every miss");
+    assert_eq!(
+        stats.evictions,
+        stats.inserts - stats.entries,
+        "every fill past residency evicts exactly one entry"
+    );
+    // Never-referenced entries fall to a single-slot sweep, so the cache's
+    // whole symmetric-op bill is one sweep op per eviction (plus nothing
+    // for touches: there are no hits).
+    assert_eq!(
+        led.costs().asym_writes,
+        stats.inserts * CACHE_INSERT_WRITES,
+        "fills are the only writes under churn too"
+    );
+}
+
+#[test]
+fn skew_fallback_charges_contiguous_plus_routing_scan() {
+    let g = test_graph();
+    let n = g.n();
+    let pri = Priorities::random(n, 11);
+    let verts: Vec<Vertex> = (0..n as u32).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    // Every query shares one routing key => one owner group holds the
+    // whole batch => skew_factor 1 trips the fallback on every batch.
+    let stream: Vec<Query> = (0..150).map(|_| Query::Component(7)).collect();
+    let run = |routing: Routing| {
+        let mut srv = streaming_server(
+            &conn,
+            &bicon,
+            AdmissionPolicy::new(50, 10_000)
+                .with_cache_capacity(64)
+                .with_routing(routing)
+                .with_eviction(Eviction::Clock),
+        );
+        let mut led = Ledger::new(OMEGA);
+        for &q in &stream {
+            srv.submit(&mut led, q);
+        }
+        srv.drain(&mut led);
+        assert_eq!(srv.take_ready().len(), stream.len());
+        (led.costs(), led.depth())
+    };
+    let (skewed, skewed_depth) = run(Routing::Affinity { skew_factor: 1 });
+    let (contig, contig_depth) = run(Routing::Contiguous);
+    let routed_ops = stream.len() as u64 * ROUTE_HASH_OPS;
+    let mut expect = contig;
+    expect.sym_ops += routed_ops;
+    assert_eq!(
+        skewed, expect,
+        "fallback must charge contiguous dispatch + the routing scan"
+    );
+    assert_eq!(
+        skewed_depth,
+        contig_depth + routed_ops,
+        "the routing scan is sequential depth"
+    );
+}
+
+/// **Acceptance criterion of PR 4**: on a 94%-hot stream with total cache
+/// capacity ≤ 25% of the working set, affinity routing + CLOCK eviction
+/// sustains a strictly higher cumulative hit ratio than the PR-3
+/// contiguous + fill-until-full baseline (whose per-shard caches must each
+/// hold the *entire* hot set and go cold-dead once junk fills them).
+#[test]
+fn affinity_clock_beats_fill_baseline_under_capacity_pressure() {
+    let g = test_graph();
+    let n = g.n() as u32;
+    let pri = Priorities::random(n as usize, 11);
+    let verts: Vec<Vertex> = (0..n).collect();
+    let (conn, bicon) = build_oracles(&g, &pri, &verts);
+
+    // 94%-hot component stream: hot keys 0..64, cold keys uniform over the
+    // rest of the graph (mostly one-shot junk).
+    const HOT: u32 = 64;
+    let mut v = 0x94u32;
+    let mut step = move || {
+        v = v.wrapping_mul(2654435761).wrapping_add(12345);
+        v
+    };
+    let stream: Vec<Query> = (0..4000)
+        .map(|_| {
+            let r = step();
+            let x = step();
+            if r % 256 < 241 {
+                Query::Component(x % HOT) // ~94.1% hot
+            } else {
+                Query::Component(HOT + x % (n - HOT)) // cold junk
+            }
+        })
+        .collect();
+
+    // Working set = distinct keys the stream probes.
+    let mut seen = std::collections::HashSet::new();
+    for q in &stream {
+        let Query::Component(v) = *q else {
+            unreachable!()
+        };
+        seen.insert(v);
+    }
+    let working_set = seen.len();
+    // Total capacity ≤ 25% of the working set, split across shards.
+    let per_shard = (working_set / 4) / SHARDS;
+    assert!(per_shard * SHARDS * 4 <= working_set);
+    assert!(
+        per_shard > 0 && per_shard < HOT as usize,
+        "pressure sanity: one baseline shard cache ({per_shard} slots) must \
+         not be able to hold the whole hot set"
+    );
+
+    let hit_ratio = |routing: Routing, eviction: Eviction| {
+        let mut srv = streaming_server(
+            &conn,
+            &bicon,
+            AdmissionPolicy::new(64, 64)
+                .with_cache_capacity(per_shard)
+                .with_routing(routing)
+                .with_eviction(eviction),
+        );
+        let mut led = Ledger::new(OMEGA);
+        for &q in &stream {
+            srv.submit(&mut led, q);
+        }
+        srv.drain(&mut led);
+        assert_eq!(srv.take_ready().len(), stream.len());
+        srv.cache_stats().hit_ratio()
+    };
+
+    let baseline = hit_ratio(Routing::Contiguous, Eviction::FillUntilFull);
+    let routed = hit_ratio(Routing::Affinity { skew_factor: 4 }, Eviction::Clock);
+    assert!(
+        routed > baseline,
+        "affinity+CLOCK ({routed:.3}) must strictly beat contiguous+fill ({baseline:.3}) \
+         at capacity {per_shard}/shard, working set {working_set}"
+    );
+}

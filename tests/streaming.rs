@@ -1,13 +1,17 @@
 //! The streaming front end's contracts, exactly:
 //!
 //! 1. answers are delivered strictly in submission order and equal
-//!    one-by-one oracle queries;
-//! 2. the documented hit/miss cost formula holds **exactly**: a dispatch
-//!    charges the batch input scan + cache probes + the full one-by-one
-//!    cost of every miss (canonical order) + one write per cache fill +
-//!    the `shard_chunks − 1` scheduler bookkeeping, and nothing else —
+//!    one-by-one oracle queries (under the default affinity + CLOCK
+//!    policy);
+//! 2. the documented **legacy** hit/miss cost formula
+//!    ([`Routing::Contiguous`] + [`Eviction::FillUntilFull`], the PR-3
+//!    configuration) holds **exactly**: a dispatch charges the batch
+//!    input scan + cache probes + the full one-by-one cost of every miss
+//!    (canonical order) + one write per cache fill + the
+//!    `shard_chunks − 1` scheduler bookkeeping, and nothing else —
 //!    verified cold (misses) and warmed (all hits) against an independent
-//!    replay of the admission/partition logic;
+//!    replay of the admission/partition logic. The affinity + CLOCK
+//!    formula is enforced the same way by `tests/affinity.rs`;
 //! 3. every charge is **bit-identical** between parallel and sequential
 //!    ledgers; CI additionally runs this file under `WEC_THREADS ∈
 //!    {1, 2, 8}`, so the totals are pinned at every parallelism level;
@@ -24,8 +28,8 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::core::BuildOpts;
 use wec::graph::{gen, Csr, Priorities, Vertex};
 use wec::serve::{
-    shard_chunks, AdmissionPolicy, Answer, Query, ShardedServer, StreamingServer,
-    CACHE_INSERT_WRITES, CACHE_PROBE_READS, QUERY_WORDS,
+    shard_chunks, AdmissionPolicy, Answer, Eviction, Query, Routing, ShardedServer,
+    StreamingServer, CACHE_INSERT_WRITES, CACHE_PROBE_READS, QUERY_WORDS,
 };
 
 const OMEGA: u64 = 64;
@@ -202,11 +206,16 @@ fn hit_miss_cost_contract_exact_cold_then_warm() {
     let (max_batch, capacity) = (64usize, 1usize << 12);
     // max_queue above the stream length: no auto-flush, so micro-batches
     // are exactly the drain's consecutive max_batch-sized chunks — the
-    // partition the replay below assumes.
+    // partition the replay below assumes. Routing/eviction pinned to the
+    // legacy PR-3 configuration this replay prices; tests/affinity.rs
+    // replays the affinity + CLOCK contract.
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(max_batch, 10_000).with_cache_capacity(capacity),
+        AdmissionPolicy::new(max_batch, 10_000)
+            .with_cache_capacity(capacity)
+            .with_routing(Routing::Contiguous)
+            .with_eviction(Eviction::FillUntilFull),
     );
     let server1 =
         ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
