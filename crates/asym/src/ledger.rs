@@ -30,6 +30,21 @@
 //!   `⌈log₂ chunks⌉` units of depth, mirroring what [`Ledger::par_for`]
 //!   charges for its binary splits.
 //!
+//! # Accounting grain vs. execution grain
+//!
+//! `scoped_par`'s `grain` parameter is the **accounting grain**: it fixes
+//! the chunk structure — how many [`LedgerScope`]s exist, what each one
+//! charges, and therefore every number above. The **execution grain** — how
+//! many of those accounting chunks one forked task runs back-to-back — is a
+//! separate, cost-invisible choice controlled by a [`Grain`] policy
+//! ([`Ledger::scoped_par_grained`]). The default, [`Grain::AUTO`], sizes
+//! tasks at `max(grain, n / (threads × chunks_per_worker))` elements so a
+//! pass over a huge array forks `O(threads)` tasks instead of one per tiny
+//! chunk. Because every accounting chunk still runs on its own zeroed
+//! scope and the merge stays in chunk index order, the accounted
+//! `Costs`/depth are bit-identical across thread counts **and** across
+//! grain policies — only wall-clock fork overhead changes.
+//!
 //! Loops whose per-element charges are known in advance should not charge
 //! inside the loop at all: the [`Charge`] helpers (`charge_reads(n)`, ...)
 //! make the bulk charge explicit at the point where the count is known.
@@ -41,6 +56,72 @@ use crate::report::CostReport;
 /// parameters) run sequentially; `rayon::join` overhead is not worth paying
 /// for tiny tasks on any machine.
 pub const DEFAULT_GRAIN: usize = 2048;
+
+/// How many tasks per pool thread [`Grain::AUTO`] aims for. Greater than 1
+/// so the work-stealing scheduler can rebalance when chunk bodies are
+/// uneven; small enough that fork overhead stays `O(threads)` per pass.
+pub const DEFAULT_CHUNKS_PER_WORKER: usize = 4;
+
+/// Execution-grain policy for [`Ledger::scoped_par_grained`]: how many
+/// **elements** (rounded up to whole accounting chunks) each forked task
+/// runs sequentially.
+///
+/// The policy is deliberately invisible to the cost model — see
+/// "Accounting grain vs. execution grain" in the module docs. Both
+/// variants produce bit-identical `Costs`/depth for a given accounting
+/// grain; they differ only in how many real fork/join operations the
+/// scheduler performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grain {
+    /// Tasks of `k` elements. `Fixed(grain)` — one task per accounting
+    /// chunk — is the historical behavior; larger multiples batch chunks.
+    Fixed(usize),
+    /// Tasks of `max(grain, n / (threads × chunks_per_worker))` elements:
+    /// large inputs fork `≈ threads × chunks_per_worker` tasks instead of
+    /// `n / grain`, and inputs with fewer elements than that keep one task
+    /// per accounting chunk.
+    Auto {
+        /// Oversubscription factor (tasks per pool thread); see
+        /// [`DEFAULT_CHUNKS_PER_WORKER`].
+        chunks_per_worker: usize,
+    },
+}
+
+impl Grain {
+    /// The default policy: [`Grain::Auto`] with
+    /// [`DEFAULT_CHUNKS_PER_WORKER`].
+    pub const AUTO: Grain = Grain::Auto {
+        chunks_per_worker: DEFAULT_CHUNKS_PER_WORKER,
+    };
+
+    /// Preset for passes whose per-chunk work is heavily skewed (per-item
+    /// bodies of very different sizes — cluster listings, per-primary
+    /// secondary planting): twice the default task count, so the
+    /// work-stealing pool has spare tasks to rebalance stragglers with.
+    /// Like every policy, pure execution tuning — accounting unchanged.
+    pub const SKEWED: Grain = Grain::Auto {
+        chunks_per_worker: 2 * DEFAULT_CHUNKS_PER_WORKER,
+    };
+
+    /// Accounting chunks each forked task runs back-to-back, for an input
+    /// of `n` elements at accounting grain `grain` (both ≥ 1).
+    fn chunks_per_task(self, n: usize, grain: usize) -> usize {
+        let elems = match self {
+            Grain::Fixed(k) => k.max(grain),
+            Grain::Auto { chunks_per_worker } => {
+                let tasks = rayon::current_num_threads().max(1) * chunks_per_worker.max(1);
+                (n / tasks).max(grain)
+            }
+        };
+        elems.div_ceil(grain)
+    }
+}
+
+impl Default for Grain {
+    fn default() -> Self {
+        Grain::AUTO
+    }
+}
 
 /// Per-task cost accounting for the Asymmetric RAM / NP models.
 ///
@@ -383,18 +464,34 @@ impl Ledger {
     /// its own [`LedgerScope`] — in parallel on the rayon pool when this
     /// ledger is parallel and more than one chunk exists — and merge the
     /// scopes deterministically. Returns the per-chunk results in chunk
-    /// order.
+    /// order. Execution batches chunks per [`Grain::AUTO`]; use
+    /// [`Ledger::scoped_par_grained`] to pick the policy.
     ///
-    /// Unlike [`Ledger::fork_sized`], the parallelism decision does not
-    /// depend on a work-size heuristic: the caller picked the grain, so
-    /// every chunk is worth a task. Accounting (see module docs): chunk
-    /// costs sum, depth takes `⌈log₂ chunks⌉ + max(chunk depth)`, plus
-    /// `chunks − 1` unit operations for the scheduler's split tree —
-    /// bit-identical between parallel and sequential execution.
+    /// Accounting (see module docs): chunk costs sum, depth takes
+    /// `⌈log₂ chunks⌉ + max(chunk depth)`, plus `chunks − 1` unit
+    /// operations for the scheduler's split tree — bit-identical between
+    /// parallel and sequential execution and across [`Grain`] policies.
     pub fn scoped_par<T: Send>(
         &mut self,
         n: usize,
         grain: usize,
+        body: &(impl Fn(std::ops::Range<usize>, &mut LedgerScope) -> T + Sync),
+    ) -> Vec<T> {
+        self.scoped_par_grained(n, grain, Grain::AUTO, body)
+    }
+
+    /// [`Ledger::scoped_par`] with an explicit execution-[`Grain`] policy.
+    ///
+    /// `grain` (the accounting grain) fixes the chunk structure and every
+    /// charged number; `exec` only controls how many of those chunks one
+    /// forked task runs back-to-back, so it can be tuned freely — per call
+    /// site or adaptively from the thread count — without perturbing the
+    /// cost contract.
+    pub fn scoped_par_grained<T: Send>(
+        &mut self,
+        n: usize,
+        grain: usize,
+        exec: Grain,
         body: &(impl Fn(std::ops::Range<usize>, &mut LedgerScope) -> T + Sync),
     ) -> Vec<T> {
         let grain = grain.max(1);
@@ -402,10 +499,20 @@ impl Ledger {
             return Vec::new();
         }
         let chunks = n.div_ceil(grain);
+        let chunks_per_task = exec.chunks_per_task(n, grain);
         let mut slots: Vec<Option<(T, LedgerScope)>> = Vec::new();
         slots.resize_with(chunks, || None);
         let proto = self.scope();
-        run_chunks(self.parallel, &proto, &mut slots, 0, grain, n, body);
+        run_chunks(
+            self.parallel,
+            &proto,
+            &mut slots,
+            0,
+            grain,
+            n,
+            chunks_per_task,
+            body,
+        );
         // Deterministic merge in chunk order, independent of execution
         // interleaving: exactly join_many, plus the split-tree bookkeeping.
         let mut out = Vec::with_capacity(chunks);
@@ -428,7 +535,19 @@ impl Ledger {
         grain: usize,
         map: &(impl Fn(usize, &mut LedgerScope) -> T + Sync),
     ) -> Vec<T> {
-        let parts = self.scoped_par(n, grain, &|range, scope| {
+        self.scoped_par_map_grained(n, grain, Grain::AUTO, map)
+    }
+
+    /// [`Ledger::scoped_par_map`] with an explicit execution-[`Grain`]
+    /// policy (see [`Ledger::scoped_par_grained`]).
+    pub fn scoped_par_map_grained<T: Send>(
+        &mut self,
+        n: usize,
+        grain: usize,
+        exec: Grain,
+        map: &(impl Fn(usize, &mut LedgerScope) -> T + Sync),
+    ) -> Vec<T> {
+        let parts = self.scoped_par_grained(n, grain, exec, &|range, scope| {
             let mut v = Vec::with_capacity(range.len());
             for i in range {
                 v.push(map(i, scope));
@@ -444,8 +563,11 @@ impl Ledger {
 }
 
 /// Execute chunk `body`s over the slot array, recursively splitting with
-/// `rayon::join` when parallel. Only the *execution* is affected by
-/// `parallel`; all accounting is derived from the filled slots afterwards.
+/// `rayon::join` down to tasks of `chunks_per_task` accounting chunks (run
+/// sequentially within a task, each on its own fresh scope). Only the
+/// *execution* is shaped by `parallel` and `chunks_per_task`; all
+/// accounting is derived from the filled slots afterwards.
+#[allow(clippy::too_many_arguments)]
 fn run_chunks<T: Send>(
     parallel: bool,
     proto: &LedgerScope,
@@ -453,31 +575,51 @@ fn run_chunks<T: Send>(
     first_chunk: usize,
     grain: usize,
     n: usize,
+    chunks_per_task: usize,
     body: &(impl Fn(std::ops::Range<usize>, &mut LedgerScope) -> T + Sync),
 ) {
-    match slots {
-        [] => {}
-        [slot] => {
-            let lo = first_chunk * grain;
-            let hi = ((first_chunk + 1) * grain).min(n);
+    if slots.is_empty() {
+        return;
+    }
+    if !parallel || slots.len() <= chunks_per_task {
+        for (offset, slot) in slots.iter_mut().enumerate() {
+            let chunk = first_chunk + offset;
+            let lo = chunk * grain;
+            let hi = ((chunk + 1) * grain).min(n);
             let mut scope = proto.fresh();
             let val = body(lo..hi, &mut scope);
             *slot = Some((val, scope));
         }
-        _ => {
-            let mid = slots.len() / 2;
-            let (left, right) = slots.split_at_mut(mid);
-            if parallel {
-                rayon::join(
-                    || run_chunks(parallel, proto, left, first_chunk, grain, n, body),
-                    || run_chunks(parallel, proto, right, first_chunk + mid, grain, n, body),
-                );
-            } else {
-                run_chunks(parallel, proto, left, first_chunk, grain, n, body);
-                run_chunks(parallel, proto, right, first_chunk + mid, grain, n, body);
-            }
-        }
+        return;
     }
+    let mid = slots.len() / 2;
+    let (left, right) = slots.split_at_mut(mid);
+    rayon::join(
+        || {
+            run_chunks(
+                parallel,
+                proto,
+                left,
+                first_chunk,
+                grain,
+                n,
+                chunks_per_task,
+                body,
+            )
+        },
+        || {
+            run_chunks(
+                parallel,
+                proto,
+                right,
+                first_chunk + mid,
+                grain,
+                n,
+                chunks_per_task,
+                body,
+            )
+        },
+    );
 }
 
 /// A detached per-worker accounting scope: plain counters with no
@@ -1048,6 +1190,96 @@ mod tests {
             (out, l.costs(), l.depth(), l.sym_peak())
         };
         assert_eq!(run(Ledger::new(16)), run(Ledger::sequential(16)));
+    }
+
+    #[test]
+    fn grain_policies_never_change_accounting() {
+        // The execution grain batches chunks per task; the accounting grain
+        // fixes the charges. Every policy × parallelism combination must
+        // produce the same outputs and bit-identical accounting.
+        let body = |r: std::ops::Range<usize>, s: &mut LedgerScope| {
+            s.read(r.len() as u64);
+            if r.start.is_multiple_of(192) {
+                s.write(1);
+            }
+            r.len()
+        };
+        let baseline = {
+            let mut l = Ledger::sequential(16);
+            let out = l.scoped_par(10_000, 64, &body);
+            (out, l.costs(), l.depth(), l.sym_peak())
+        };
+        let policies = [
+            Grain::Fixed(1),          // clamped up to the accounting grain
+            Grain::Fixed(64),         // one task per chunk (historical behavior)
+            Grain::Fixed(1000),       // tasks of ⌈1000/64⌉ = 16 chunks
+            Grain::Fixed(usize::MAX), // everything in one task
+            Grain::AUTO,
+            Grain::Auto {
+                chunks_per_worker: 1,
+            },
+            Grain::Auto {
+                chunks_per_worker: 1024,
+            },
+        ];
+        for exec in policies {
+            for parallel in [false, true] {
+                let mut l = if parallel {
+                    Ledger::new(16)
+                } else {
+                    Ledger::sequential(16)
+                };
+                let out = l.scoped_par_grained(10_000, 64, exec, &body);
+                assert_eq!(
+                    (out, l.costs(), l.depth(), l.sym_peak()),
+                    baseline,
+                    "accounting drifted under {exec:?} (parallel={parallel})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grain_policies_never_change_map_results_or_accounting() {
+        let map = |i: usize, s: &mut LedgerScope| {
+            s.op(1);
+            i * 3
+        };
+        let baseline = {
+            let mut l = Ledger::sequential(8);
+            let out = l.scoped_par_map(997, 16, &map);
+            (out, l.costs(), l.depth())
+        };
+        for exec in [Grain::Fixed(16), Grain::Fixed(500), Grain::AUTO] {
+            let mut l = Ledger::new(8);
+            let out = l.scoped_par_map_grained(997, 16, exec, &map);
+            assert_eq!((out, l.costs(), l.depth()), baseline, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn auto_grain_batches_large_inputs_and_spares_small_ones() {
+        // chunks_per_task is an execution detail, but its arithmetic is the
+        // contract the call sites rely on: small inputs keep one chunk per
+        // task (full fan-out), huge inputs converge to ≈ threads ×
+        // chunks_per_worker tasks.
+        let threads = rayon::current_num_threads().max(1);
+        let auto = Grain::AUTO;
+        // Small input: n ≤ threads × cpw ⇒ one chunk per task (full
+        // fan-out).
+        assert_eq!(
+            auto.chunks_per_task(threads * DEFAULT_CHUNKS_PER_WORKER, 1),
+            1
+        );
+        // Large input: tasks of ~n/(threads × cpw) elements.
+        let n = 1 << 20;
+        let expect = (n / (threads * DEFAULT_CHUNKS_PER_WORKER))
+            .max(64)
+            .div_ceil(64);
+        assert_eq!(auto.chunks_per_task(n, 64), expect);
+        // Fixed policy rounds up to whole chunks and never goes below one.
+        assert_eq!(Grain::Fixed(0).chunks_per_task(100, 10), 1);
+        assert_eq!(Grain::Fixed(25).chunks_per_task(100, 10), 3);
     }
 
     #[test]

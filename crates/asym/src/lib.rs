@@ -30,6 +30,11 @@
 //!   counter scopes merged deterministically (work sums, depth maxes) so
 //!   parallel and sequential execution produce bit-identical costs. The
 //!   full contract is documented in the [`ledger`] module.
+//! * [`Grain`] — the execution-grain policy for `scoped_par`: how many
+//!   accounting chunks one forked task runs back-to-back. Invisible to the
+//!   cost model by construction (the chunk/scope structure is fixed by the
+//!   accounting grain); `Grain::AUTO` sizes tasks from the pool's thread
+//!   count so large passes stop over-forking tiny closures.
 //! * [`CostTally`] — a deferred tally for read-mostly batch passes (query
 //!   serving): note per-item charges into plain counters, flush once.
 //! * [`CacheTally`] — the result-cache variant: probe/hit/miss/insert
@@ -49,7 +54,9 @@ pub mod report;
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
 pub use hash::{stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ledger::{CacheTally, Charge, CostTally, Ledger, LedgerScope};
+pub use ledger::{
+    CacheTally, Charge, CostTally, Grain, Ledger, LedgerScope, DEFAULT_CHUNKS_PER_WORKER,
+};
 pub use report::CostReport;
 
 /// Default write-cost multiplier used by examples and tests when nothing

@@ -26,8 +26,11 @@
 //! pressure (locality × capacity-fraction sweep against the PR-3
 //! contiguous + fill-until-full baseline) and emits `BENCH_PR4.json`;
 //! `cost_golden` regenerates `costs_golden.json`, the exact-cost golden
-//! file CI's cost-regression gate diffs. Criterion wall-clock benches live
-//! in `benches/`.
+//! file CI's cost-regression gate diffs; `pool_bench` measures the rayon
+//! shim's fork/join overhead and steal rates — the work-stealing scheduler
+//! against the legacy injector-only mode, at `WEC_THREADS ∈ {2, 8}` via
+//! subprocess legs — and emits `BENCH_PR5.json`. Criterion wall-clock
+//! benches live in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -455,6 +458,122 @@ impl AffinitySnapshot {
     /// override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_AFFINITY_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured scheduler leg: a fixed thread count × publish mode
+/// (work-stealing deques vs. legacy injector-only), run in its own
+/// subprocess so `WEC_THREADS` really takes effect.
+#[derive(Debug, Clone)]
+pub struct PoolLeg {
+    /// Threads the leg ran with (`WEC_THREADS`).
+    pub threads: u64,
+    /// `"steal"` (per-worker deques) or `"injector"` (legacy shared queue).
+    pub mode: String,
+    /// Wall-clock nanoseconds per `join` in the spawn-heavy microbench
+    /// (balanced fan-out tree, trivial leaves — pure scheduler overhead).
+    pub join_ns: f64,
+    /// Joins per second implied by `join_ns`.
+    pub joins_per_sec: f64,
+    /// Nanoseconds per forked chunk in a grain-1 `Ledger::scoped_par` pass
+    /// (the ledger-level fork path real passes use).
+    pub chunk_ns: f64,
+    /// Median seconds for the decomposition + oracle build phase.
+    pub build_seconds: f64,
+    /// Scheduler-stats delta over the leg: successful steals.
+    pub steals: u64,
+    /// Jobs published to worker deques.
+    pub published_deque: u64,
+    /// Jobs published to the injector.
+    pub published_injector: u64,
+    /// Deque-full overflows rerouted to the injector.
+    pub deque_overflows: u64,
+    /// Joins that blocked on a remotely executing branch.
+    pub blocked_joins: u64,
+    /// Idle-worker parks.
+    pub parks: u64,
+}
+
+impl PoolLeg {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("threads", self.threads)
+            .str("mode", &self.mode)
+            .float("join_ns", self.join_ns)
+            .float("joins_per_sec", self.joins_per_sec)
+            .float("chunk_ns", self.chunk_ns)
+            .float("build_seconds", self.build_seconds)
+            .num("steals", self.steals)
+            .num("published_deque", self.published_deque)
+            .num("published_injector", self.published_injector)
+            .num("deque_overflows", self.deque_overflows)
+            .num("blocked_joins", self.blocked_joins)
+            .num("parks", self.parks)
+            .finish()
+    }
+}
+
+/// The machine-readable scheduler snapshot (`BENCH_PR5.json`): fork/join
+/// overhead of the work-stealing runtime vs. the legacy injector-only
+/// scheduler at `WEC_THREADS ∈ {2, 8}`, plus steal-rate counters. The
+/// top-level `join_ns_steal_t{2,8}` / `join_ns_injector_t{2,8}` /
+/// `overhead_reduction_pct_t8` keys are what the CI bench guard validates;
+/// the acceptance criterion is `join_ns_steal_tN < join_ns_injector_tN`.
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// Threads available to the orchestrating process (host default).
+    pub host_threads: u64,
+    /// All measured legs (threads × mode grid).
+    pub legs: Vec<PoolLeg>,
+}
+
+impl PoolSnapshot {
+    fn leg(&self, threads: u64, mode: &str) -> Option<&PoolLeg> {
+        self.legs
+            .iter()
+            .find(|l| l.threads == threads && l.mode == mode)
+    }
+
+    /// Percentage reduction in per-join overhead, steal mode vs. injector
+    /// mode, at a given thread count (positive = steal wins).
+    pub fn overhead_reduction_pct(&self, threads: u64) -> f64 {
+        match (self.leg(threads, "steal"), self.leg(threads, "injector")) {
+            (Some(s), Some(i)) if i.join_ns > 0.0 => 100.0 * (1.0 - s.join_ns / i.join_ns),
+            _ => f64::NAN,
+        }
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .num("pr", self.pr)
+            .num("host_threads", self.host_threads)
+            .raw("legs", &json::array(self.legs.iter().map(|l| l.to_json())));
+        for &t in &[2u64, 8] {
+            if let Some(s) = self.leg(t, "steal") {
+                obj = obj
+                    .float(&format!("join_ns_steal_t{t}"), s.join_ns)
+                    .num(&format!("steals_t{t}"), s.steals);
+            }
+            if let Some(i) = self.leg(t, "injector") {
+                obj = obj.float(&format!("join_ns_injector_t{t}"), i.join_ns);
+            }
+            obj = obj.float(
+                &format!("overhead_reduction_pct_t{t}"),
+                self.overhead_reduction_pct(t),
+            );
+        }
+        obj.finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_POOL_BENCH_OUT` override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_POOL_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

@@ -29,12 +29,17 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Marker for unvisited vertices in [`BfsResult::parent`] / levels.
 pub const UNREACHED: u32 = u32::MAX;
 
-/// Chunk size for parallel frontier processing (fixed for deterministic
-/// accounting).
+/// Accounting chunk size for parallel frontier processing: fixed, because
+/// the chunk structure determines the charged split-tree bookkeeping and
+/// the next frontier's concatenation order. How many of these chunks one
+/// forked task runs is a separate, cost-invisible choice — `scoped_par`'s
+/// default `Grain::AUTO` execution policy batches them by the pool's
+/// thread count, so a huge frontier no longer forks one closure per 128
+/// vertices.
 const FRONTIER_GRAIN: usize = 128;
 
-/// Chunk size for parallel injection-source claiming (fixed for
-/// deterministic accounting).
+/// Accounting chunk size for parallel injection-source claiming (same
+/// fixed-accounting / adaptive-execution split as [`FRONTIER_GRAIN`]).
 const INJECT_GRAIN: usize = 128;
 
 /// Output of a (multi-source) BFS.

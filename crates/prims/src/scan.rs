@@ -1,4 +1,10 @@
 //! Reduce and blocked prefix sums with model charging.
+//!
+//! The `block` parameters below are **accounting** blocks: they fix the
+//! per-block charges and the `scoped_par` split-tree bookkeeping. How many
+//! blocks one forked task processes is the scheduler's cost-invisible
+//! execution-grain choice (`wec_asym::Grain`), auto-sized from the pool's
+//! thread count.
 
 use wec_asym::Ledger;
 

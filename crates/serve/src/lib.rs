@@ -22,7 +22,11 @@
 //! scopes merge in **shard index order** via `join_many` — never in
 //! execution order. Consequently, for a fixed shard count the merged
 //! `Costs`, depth, and symmetric-memory peak are **bit-identical** whether
-//! the shards ran on one thread or many.
+//! the shards ran on one thread or many. (How many shards one forked task
+//! serves back-to-back is `scoped_par`'s execution-[`wec_asym::Grain`]
+//! decision — on a machine with fewer threads than shards the dispatch no
+//! longer forks one closure per shard — and is invisible to all of the
+//! charges below by the grain contract.)
 //!
 //! Exactly three kinds of charges occur, all of them accounted:
 //!
@@ -219,8 +223,9 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
 
     /// Serve a batch: partition it into [`shard_chunks`]`(batch.len(),
     /// shards)` contiguous chunks, answer every chunk on its own ledger
-    /// scope (in parallel when `led` is parallel), and return the answers
-    /// in input order.
+    /// scope (in parallel when `led` is parallel; the scheduler may run
+    /// several chunks per forked task on thread-starved machines without
+    /// changing any charge), and return the answers in input order.
     ///
     /// # Panics
     /// As [`ShardedServer::answer_one`], if the batch contains

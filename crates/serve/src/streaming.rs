@@ -561,7 +561,10 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         }
         let (server, caches) = (&self.server, &self.caches);
         let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
-        // Exactly s chunks, chunk i = shard i serving its own group.
+        // Exactly s accounting chunks, chunk i = shard i serving its own
+        // group (execution may batch several shards per task on few-thread
+        // machines; each shard still runs under its own scope and lock, so
+        // hit/miss patterns and charges are unaffected).
         let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(s, 1, &|r, scope| {
             let shard = r.start;
             let group = &groups[shard];

@@ -9,7 +9,7 @@
 //! on execution order — the exact bug class the split/merge architecture
 //! exists to rule out.
 
-use wec::asym::{Costs, Ledger};
+use wec::asym::{Costs, Grain, Ledger, LedgerScope};
 use wec::biconnectivity::oracle::build_biconnectivity_oracle;
 use wec::connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
 use wec::core::{BuildOpts, ImplicitDecomposition};
@@ -120,6 +120,62 @@ fn connectivity_oracle_build_and_query_costs_invariant() {
             "query answers differ (pass={parallel_clusters_pass})"
         );
     }
+}
+
+#[test]
+fn grain_policy_invariant_under_parallelism_and_thread_count() {
+    // The execution-grain policy batches accounting chunks per forked task
+    // using the *runtime thread count* — so this test, run across the CI
+    // WEC_THREADS matrix (1/2/8/16), proves the adaptive batching cannot
+    // leak into the accounted costs: every policy × parallelism combination
+    // must agree bit-for-bit, and the absolute numbers are pinned so
+    // different matrix legs cannot silently diverge from each other.
+    let body = |r: std::ops::Range<usize>, s: &mut LedgerScope| {
+        s.read(r.len() as u64);
+        if r.start.is_multiple_of(7 * 64) {
+            s.write(1);
+        }
+        r.len() as u64
+    };
+    let mut reference: Option<(Vec<u64>, Costs, u64, u64)> = None;
+    for exec in [
+        Grain::Fixed(64),
+        Grain::Fixed(4096),
+        Grain::AUTO,
+        Grain::Auto {
+            chunks_per_worker: 1,
+        },
+    ] {
+        for parallel in [false, true] {
+            let mut led = if parallel {
+                Ledger::new(OMEGA)
+            } else {
+                Ledger::sequential(OMEGA)
+            };
+            let out = led.scoped_par_grained(50_000, 64, exec, &body);
+            let got = (out, led.costs(), led.depth(), led.sym_peak());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "accounting drifted under {exec:?} (parallel={parallel})"
+                ),
+            }
+        }
+    }
+    let (_, costs, depth, _) = reference.unwrap();
+    // 50_000 / 64 ⇒ 782 chunks: 50_000 reads, 112 writes (every 7th chunk),
+    // 781 split-tree ops; depth = ⌈log₂ 782⌉ + max chunk depth (64 reads +
+    // ω for chunks that write).
+    assert_eq!(
+        costs,
+        Costs {
+            asym_reads: 50_000,
+            asym_writes: 112,
+            sym_ops: 781
+        }
+    );
+    assert_eq!(depth, 10 + 64 + OMEGA);
 }
 
 #[test]
