@@ -82,6 +82,17 @@ pub fn stable_mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A stable two-word combinator over [`stable_mix64`]: mixes `b` into `a`
+/// with a golden-ratio offset so that `(a, b)` and `(b, a)` land in
+/// different buckets. Like `stable_mix64` itself this is **pinned**: the
+/// serving layer's fault-injection plans derive every per-(dispatch,
+/// shard, attempt) decision from chains of `stable_combine`, and
+/// reproducing a recorded fault run requires the exact same values.
+#[inline]
+pub fn stable_combine(a: u64, b: u64) -> u64 {
+    stable_mix64(a ^ stable_mix64(b ^ 0x9e37_79b9_7f4a_7c15))
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -143,6 +154,32 @@ mod tests {
             assert!(
                 (300..=800).contains(&b),
                 "bucket {i} holds {b} of 4096 — routing hash badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_combine_is_pinned_and_order_sensitive() {
+        // Fault plans replay decisions from these exact values; pin them
+        // the same way stable_mix64 is pinned.
+        assert_eq!(
+            stable_combine(0, 0),
+            stable_mix64(stable_mix64(0x9e37_79b9_7f4a_7c15))
+        );
+        assert_eq!(stable_combine(1, 2), stable_combine(1, 2));
+        assert_ne!(stable_combine(1, 2), stable_combine(2, 1), "order matters");
+        assert_ne!(stable_combine(0, 1), stable_combine(1, 0));
+        // Chained combining over small domains still spreads.
+        let mut buckets = [0u32; 8];
+        for d in 0u64..64 {
+            for s in 0u64..64 {
+                buckets[(stable_combine(d, s) % 8) as usize] += 1;
+            }
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (300..=800).contains(&b),
+                "bucket {i} holds {b} of 4096 — combinator badly skewed"
             );
         }
     }

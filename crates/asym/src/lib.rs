@@ -53,7 +53,7 @@ pub mod report;
 
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
-pub use hash::{stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{stable_combine, stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ledger::{
     CacheTally, Charge, CostTally, Grain, Ledger, LedgerScope, DEFAULT_CHUNKS_PER_WORKER,
 };

@@ -187,7 +187,7 @@ fn main() {
                 let mut srv = make_server(per_shard, routing, eviction);
                 let mut qled = Ledger::new(OMEGA);
                 for &q in &queries {
-                    srv.submit(&mut qled, q);
+                    srv.submit(&mut qled, q).unwrap();
                 }
                 srv.drain(&mut qled);
                 assert_eq!(srv.take_ready().len(), stream_len);
@@ -198,7 +198,7 @@ fn main() {
                     let mut srv = make_server(per_shard, routing, eviction);
                     let mut ql = Ledger::new(OMEGA);
                     for &q in &queries {
-                        srv.submit(&mut ql, q);
+                        srv.submit(&mut ql, q).unwrap();
                     }
                     srv.drain(&mut ql);
                     assert_eq!(srv.take_ready().len(), stream_len);

@@ -117,7 +117,7 @@ fn main() {
     let mut srv = make_streaming();
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -126,7 +126,7 @@ fn main() {
     // 5. Same stream through the now-warm caches: the hit-path costs.
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     assert_eq!(srv.take_ready().len(), stream.len());

@@ -130,7 +130,7 @@ fn main() {
                 let mut srv = make_server(max_batch, capacity);
                 let mut qled = Ledger::new(OMEGA);
                 for &q in &queries {
-                    srv.submit(&mut qled, q);
+                    srv.submit(&mut qled, q).unwrap();
                 }
                 srv.drain(&mut qled);
                 let answered = srv.take_ready().len();
@@ -143,7 +143,7 @@ fn main() {
                     let mut srv = make_server(max_batch, capacity);
                     let mut ql = Ledger::new(OMEGA);
                     for &q in &queries {
-                        srv.submit(&mut ql, q);
+                        srv.submit(&mut ql, q).unwrap();
                     }
                     srv.drain(&mut ql);
                     assert_eq!(srv.take_ready().len(), stream_len);

@@ -29,8 +29,11 @@
 //! file CI's cost-regression gate diffs; `pool_bench` measures the rayon
 //! shim's fork/join overhead and steal rates — the work-stealing scheduler
 //! against the legacy injector-only mode, at `WEC_THREADS ∈ {2, 8}` via
-//! subprocess legs — and emits `BENCH_PR5.json`. Criterion wall-clock
-//! benches live in `benches/`.
+//! subprocess legs — and emits `BENCH_PR5.json`; `fault_bench` drives the
+//! seeded fault-injection plan through the streaming server at shard-panic
+//! rates of 0%, 0.1%, 1%, and 5% — measuring answer completeness and
+//! throughput against a crash-on-first-fault baseline — and emits
+//! `BENCH_PR6.json`. Criterion wall-clock benches live in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -574,6 +577,161 @@ impl PoolSnapshot {
     /// Write the snapshot to `path` (or the `WEC_POOL_BENCH_OUT` override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_POOL_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured leg of the fault-injection sweep: a fixed seeded
+/// shard-panic rate driven through the streaming server's recovery
+/// machinery, against the analytic crash-on-first-fault baseline.
+#[derive(Debug, Clone)]
+pub struct FaultLeg {
+    /// Injected shard-panic probability in per-mille (‰) per
+    /// (dispatch, shard) decision point. 0 = fault-free.
+    pub fault_per_mille: u64,
+    /// Fraction of submitted queries answered (delivered with a ticket).
+    /// The recovery contract pins this at 1.0 for every rate.
+    pub completeness: f64,
+    /// Fraction a crash-on-first-fault server would have answered:
+    /// queries delivered before the first dispatch at which the same
+    /// seeded plan fires (replayed analytically from the plan).
+    pub baseline_completeness: f64,
+    /// Median wall-clock seconds for the whole stream.
+    pub seconds_per_stream: f64,
+    /// Queries answered per second (`stream_len / seconds_per_stream`).
+    pub query_throughput_per_sec: f64,
+    /// Shard-chunk panics caught by the isolation boundary.
+    pub panics_caught: u64,
+    /// Queries recomputed through the degraded uncached path.
+    pub degraded_answers: u64,
+    /// Backoff-ladder rungs charged.
+    pub retries: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Half-open probes after cooldowns.
+    pub half_open_probes: u64,
+    /// Breakers closed again by a successful probe.
+    pub shards_restored: u64,
+    /// Poisoned cache locks cleared.
+    pub lock_poison_recoveries: u64,
+    /// Model asymmetric reads charged per query (recovery included).
+    pub reads_per_query: f64,
+    /// Model operations charged per query (recovery included).
+    pub ops_per_query: f64,
+}
+
+impl FaultLeg {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("fault_per_mille", self.fault_per_mille)
+            .float("completeness", self.completeness)
+            .float("baseline_completeness", self.baseline_completeness)
+            .float("seconds_per_stream", self.seconds_per_stream)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .num("panics_caught", self.panics_caught)
+            .num("degraded_answers", self.degraded_answers)
+            .num("retries", self.retries)
+            .num("breaker_trips", self.breaker_trips)
+            .num("half_open_probes", self.half_open_probes)
+            .num("shards_restored", self.shards_restored)
+            .num("lock_poison_recoveries", self.lock_poison_recoveries)
+            .float("reads_per_query", self.reads_per_query)
+            .float("ops_per_query", self.ops_per_query)
+            .finish()
+    }
+}
+
+/// The machine-readable robustness snapshot (`BENCH_PR6.json`): the
+/// seeded fault-injection sweep over shard-panic rates
+/// {0‰, 1‰, 10‰, 50‰} on the 94%-hot streaming workload. The top-level
+/// `query_throughput_per_sec` (fault-free leg), `completeness_at_10pm` /
+/// `baseline_completeness_at_10pm` (the 1% acceptance rate), and
+/// `throughput_retained_pct_at_10pm` keys are what the CI bench guard
+/// validates; the acceptance criterion is completeness 1.0 at every rate
+/// while the crash baseline loses most of the stream.
+#[derive(Debug, Clone)]
+pub struct FaultSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Queries per stream run.
+    pub stream_len: u64,
+    /// Fault-plan seed every leg derives its decisions from.
+    pub seed: u64,
+    /// All measured legs, ascending by fault rate.
+    pub legs: Vec<FaultLeg>,
+}
+
+impl FaultSnapshot {
+    fn leg(&self, per_mille: u64) -> Option<&FaultLeg> {
+        self.legs.iter().find(|l| l.fault_per_mille == per_mille)
+    }
+
+    /// Completeness of the leg at `per_mille` (NaN if absent).
+    pub fn leg_completeness(&self, per_mille: u64) -> f64 {
+        self.leg(per_mille).map_or(f64::NAN, |l| l.completeness)
+    }
+
+    /// Crash-baseline completeness of the leg at `per_mille` (NaN if
+    /// absent).
+    pub fn leg_baseline(&self, per_mille: u64) -> f64 {
+        self.leg(per_mille)
+            .map_or(f64::NAN, |l| l.baseline_completeness)
+    }
+
+    /// Throughput retained at `per_mille` relative to the fault-free leg,
+    /// as a percentage (100 = no degradation).
+    pub fn throughput_retained_pct(&self, per_mille: u64) -> f64 {
+        match (self.leg(0), self.leg(per_mille)) {
+            (Some(base), Some(l)) if base.query_throughput_per_sec > 0.0 => {
+                100.0 * l.query_throughput_per_sec / base.query_throughput_per_sec
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .num("shards", self.shards)
+            .num("stream_len", self.stream_len)
+            .num("seed", self.seed)
+            .raw("legs", &json::array(self.legs.iter().map(|l| l.to_json())));
+        if let Some(base) = self.leg(0) {
+            obj = obj.float("query_throughput_per_sec", base.query_throughput_per_sec);
+        }
+        if let Some(l) = self.leg(10) {
+            obj = obj
+                .float("completeness_at_10pm", l.completeness)
+                .float("baseline_completeness_at_10pm", l.baseline_completeness)
+                .float(
+                    "throughput_retained_pct_at_10pm",
+                    self.throughput_retained_pct(10),
+                );
+        }
+        obj.finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_FAULT_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_FAULT_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

@@ -139,6 +139,18 @@ impl ShardCache {
         };
     }
 
+    /// Quarantine reset: drop every resident entry, any pending deferred
+    /// charges, and the CLOCK hand, returning the cumulative counters the
+    /// cache had accrued so the owner can fold them into a retired
+    /// aggregate (keeping `cache_stats()` monotone across quarantines).
+    /// Pending charges belong to the failed attempt, which by the fault
+    /// model charged nothing — dropping them keeps the ledger honest.
+    pub(crate) fn reset_cold(&mut self) -> CacheStats {
+        let stats = self.stats();
+        *self = ShardCache::default();
+        stats
+    }
+
     /// Cumulative counters snapshot.
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
@@ -226,6 +238,26 @@ mod tests {
             "exact per-probe / per-touch / per-evict charges"
         );
         assert_eq!(c.tally.evictions(), 1);
+    }
+
+    #[test]
+    fn reset_cold_returns_history_and_empties_the_cache() {
+        let mut c = ShardCache::default();
+        for v in 0..4u32 {
+            c.probe(k(v), Eviction::Clock);
+            c.fill(k(v), val(), 8, Eviction::Clock);
+        }
+        c.probe(k(1), Eviction::Clock); // one hit
+        let retired = c.reset_cold();
+        assert_eq!((retired.hits, retired.misses), (1, 4));
+        assert_eq!((retired.inserts, retired.entries), (4, 4));
+        assert_eq!(c.len(), 0, "cold after reset");
+        assert_eq!(c.tally.pending(), Costs::ZERO, "pending charges dropped");
+        assert!(
+            c.probe(k(1), Eviction::Clock).is_none(),
+            "quarantined entries are gone"
+        );
+        assert_eq!(c.stats().misses, 1, "counters restart from zero");
     }
 
     #[test]

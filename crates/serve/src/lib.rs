@@ -56,13 +56,29 @@
 //! delivers answers in submission order. The exact
 //! routing/hit/miss/eviction cost contract is documented in the
 //! [`streaming`] module docs.
+//!
+//! ## Robustness
+//!
+//! The streaming front end survives faults instead of crashing on them:
+//! shard panics are isolated behind a `catch_unwind` boundary, the
+//! panicking shard is quarantined (cache reset cold, poisoned lock
+//! recovered) and its queries are recomputed through a degraded uncached
+//! path with an exact charged recovery cost, a per-shard circuit breaker
+//! ([`fault`] module) routes around repeat offenders, and queue overflow
+//! can shed load with a typed [`ServeError::Overloaded`] instead of
+//! growing without bound. Deterministic fault *injection* for tests and
+//! benchmarks lives in [`fault::FaultPlan`]; see that module for the
+//! fault model.
 
 mod cache;
+pub mod fault;
 pub mod streaming;
 
+pub use fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
 pub use streaming::{
-    AdmissionPolicy, CacheStats, Eviction, Routing, StreamingServer, Ticket, CACHE_INSERT_WRITES,
-    CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS, ROUTE_HASH_OPS,
+    query_work_estimate, AdmissionPolicy, CacheStats, Eviction, Overflow, Routing, StreamingServer,
+    Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS,
+    ROUTE_HASH_OPS,
 };
 
 use wec_asym::Ledger;
@@ -111,6 +127,55 @@ impl Answer {
         }
     }
 }
+
+/// Typed failure of one query or submission on the streaming path.
+///
+/// The streaming server never loses a ticket: a query that cannot be
+/// answered is *delivered*, in submission order, as an `Err` of this type.
+/// Only [`StreamingServer::submit`](streaming::StreamingServer::submit)
+/// under [`Overflow::Shed`](streaming::Overflow::Shed) can fail before a
+/// ticket is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeError {
+    /// A biconnectivity-class query reached a server built without a
+    /// biconnectivity oracle. The batch path
+    /// ([`ShardedServer::answer_one`]) keeps its documented panic; the
+    /// streaming path returns this through the normal answer stream.
+    UnsupportedQuery(Query),
+    /// The submission was shed: the queue sits at the policy's
+    /// `max_queue` bound and the overflow policy is
+    /// [`Overflow::Shed`](streaming::Overflow::Shed). No ticket was
+    /// consumed; resubmitting after draining is safe.
+    Overloaded {
+        /// Queue depth at rejection time.
+        queue_len: usize,
+        /// The bound that was hit.
+        max_queue: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ServeError::UnsupportedQuery(q) => {
+                write!(
+                    f,
+                    "unsupported query {q:?}: no biconnectivity oracle attached"
+                )
+            }
+            ServeError::Overloaded {
+                queue_len,
+                max_queue,
+            } => write!(f, "overloaded: queue {queue_len} at max_queue {max_queue}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One delivered streaming result: the answer, or the typed reason it
+/// could not be produced.
+pub type ServeResult = Result<Answer, ServeError>;
 
 /// Number of `scoped_par` chunks a batch of `n` queries over `s` shards
 /// produces: `⌈n / ⌈n/s⌉⌉` (0 for an empty batch). Exposed because the
@@ -218,6 +283,26 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
                     .expect("server was built without a biconnectivity oracle")
                     .biconnected(led, u, v),
             ),
+        }
+    }
+
+    /// Answer one query like [`ShardedServer::answer_one`], but return a
+    /// typed [`ServeError::UnsupportedQuery`] instead of panicking when a
+    /// biconnectivity-class query reaches a server without a
+    /// biconnectivity oracle. The unsupported path charges nothing (the
+    /// query is rejected before any oracle work); the supported paths
+    /// charge identically to `answer_one`.
+    pub fn try_answer_one(&self, led: &mut Ledger, q: Query) -> ServeResult {
+        match q {
+            Query::Connected(..) | Query::Component(_) => Ok(self.answer_one(led, q)),
+            Query::TwoEdgeConnected(u, v) => match self.bicon {
+                Some(h) => Ok(Answer::TwoEdgeConnected(h.two_edge_connected(led, u, v))),
+                None => Err(ServeError::UnsupportedQuery(q)),
+            },
+            Query::Biconnected(u, v) => match self.bicon {
+                Some(h) => Ok(Answer::Biconnected(h.biconnected(led, u, v))),
+                None => Err(ServeError::UnsupportedQuery(q)),
+            },
         }
     }
 
@@ -415,6 +500,30 @@ mod tests {
         let server = ShardedServer::new(oracle.query_handle(), 2);
         let mut qled = Ledger::new(OMEGA);
         let _ = server.serve(&mut qled, &[Query::Biconnected(0, 5)]);
+    }
+
+    #[test]
+    fn try_answer_one_types_the_missing_oracle() {
+        let g = gen::grid(3, 3);
+        let pri = Priorities::random(9, 1);
+        let verts: Vec<Vertex> = (0..9).collect();
+        let mut led = Ledger::new(OMEGA);
+        let oracle =
+            ConnectivityOracle::build(&mut led, &g, &pri, &verts, 2, 1, OracleBuildOpts::default());
+        let server = ShardedServer::new(oracle.query_handle(), 2);
+        let mut qled = Ledger::new(OMEGA);
+        let q = Query::Biconnected(0, 5);
+        assert_eq!(
+            server.try_answer_one(&mut qled, q),
+            Err(ServeError::UnsupportedQuery(q)),
+            "typed rejection instead of the answer_one panic"
+        );
+        assert_eq!(qled.costs(), Costs::ZERO, "rejection charges nothing");
+        assert_eq!(
+            server.try_answer_one(&mut qled, Query::Connected(0, 8)),
+            Ok(Answer::Connected(true)),
+            "supported queries still answer"
+        );
     }
 
     #[test]

@@ -158,17 +158,75 @@
 //! orders, the total `Costs`, depth, and symmetric-memory peak of any
 //! submit/flush/drain sequence are **bit-identical across `WEC_THREADS`
 //! settings**; CI pins this with the {1, 2, 8} matrix.
+//!
+//! ## Fault isolation and recovery
+//!
+//! Every result is delivered as a [`crate::ServeResult`]; a query the
+//! server cannot answer is still *delivered*, in submission order, as a
+//! typed [`crate::ServeError`]. Three fault domains are handled:
+//!
+//! * **Shard panics.** Each dispatch chunk runs inside a `catch_unwind`
+//!   isolation boundary. A panicking shard is *quarantined*: its cache
+//!   lock is recovered if poisoned (`Mutex::clear_poison`), the cache is
+//!   reset cold (cumulative counters are folded into a retired aggregate
+//!   so [`StreamingServer::cache_stats`] stays monotone), and the shard's
+//!   whole query group is recomputed through the **degraded path** below.
+//!   Panics in *other* shards' chunks are unaffected — their answers
+//!   land normally.
+//! * **Repeat offenders.** Per-shard health drives a circuit breaker
+//!   ([`crate::RecoveryPolicy::breaker_threshold`] consecutive failures
+//!   trip it). While any breaker is open, routing abandons affinity and
+//!   partitions each micro-batch contiguously over the **surviving**
+//!   shards only. After [`crate::RecoveryPolicy::breaker_cooldown`]
+//!   dispatches the shard is readmitted as a half-open probe: one
+//!   successfully served non-empty group closes the breaker, another
+//!   failure re-opens it.
+//! * **Overload.** Under [`Overflow::Shed`] a submission that finds the
+//!   queue at `max_queue` is rejected with
+//!   [`crate::ServeError::Overloaded`] *before* a ticket is issued, so
+//!   shed traffic never perturbs delivery order. (The default
+//!   [`Overflow::DispatchInline`] keeps the PR-4 behaviour: the bound
+//!   triggers inline dispatch and `submit` never fails.) Independently,
+//!   [`AdmissionPolicy::op_budget`] caps each micro-batch's *estimated*
+//!   model work ([`query_work_estimate`]) — a deadline in model time —
+//!   by closing batches early; it never rejects.
+//!
+//! ### The recovery cost contract
+//!
+//! A failed shard attempt charges **nothing**: injected faults fire
+//! before the chunk makes any charge, and a quarantined cache drops its
+//! un-flushed tally. Recovery then charges, sequentially on the
+//! dispatching ledger, exactly:
+//!
+//! 1. the backoff ladder — attempt `a` (1-based, at most
+//!    [`crate::RecoveryPolicy::max_retries`]) charges
+//!    `retry_backoff_ops << (a − 1)` unit operations; injected retry
+//!    failures are suppressed on the final attempt, so recovery always
+//!    terminates;
+//! 2. per affected query, [`super::QUERY_WORDS`] asymmetric reads (the
+//!    re-scan) plus the full **uncached** one-by-one cost of
+//!    [`super::ShardedServer::try_answer_one`] — the degraded path
+//!    bypasses the (now cold) cache entirely.
+//!
+//! Deterministic fault *injection* ([`crate::FaultPlan`]) is carried as
+//! an `Option` and consulted only when a plan with raised knobs is
+//! installed: the fault-free path executes the identical charge sequence
+//! as PR-5 (pinned by `costs_golden.json`), and injected stalls burn
+//! wall-clock time only, never model cost. Everything the recovery
+//! machinery does is counted in [`crate::RobustnessStats`].
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
-use wec_asym::Ledger;
-use wec_biconnectivity::BiconnQueryKey;
+use wec_asym::{Ledger, LedgerScope};
+use wec_biconnectivity::{BiconnQueryHandle, BiconnQueryKey};
 use wec_connectivity::ComponentId;
 use wec_graph::{GraphView, Vertex};
 
 use crate::cache::{CacheKey, CacheVal, ShardCache};
-use crate::{Answer, Query, ShardedServer, QUERY_WORDS};
+use crate::fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
+use crate::{Answer, Query, ServeError, ServeResult, ShardedServer, QUERY_WORDS};
 
 /// Asymmetric reads charged per result-cache probe (hash the key, inspect
 /// its bucket).
@@ -226,6 +284,34 @@ pub enum Eviction {
     Clock,
 }
 
+/// What [`StreamingServer::submit`] does when the queue sits at the
+/// policy's `max_queue` bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overflow {
+    /// The PR-4 behaviour (default): reaching the bound triggers inline
+    /// dispatch until the queue is below it again; `submit` never fails.
+    DispatchInline,
+    /// Hard bound: the submission is rejected with
+    /// [`crate::ServeError::Overloaded`] and **no ticket is consumed**, so
+    /// shed traffic leaves ticketing and in-order delivery untouched. The
+    /// caller flushes or drains on its own cadence.
+    Shed,
+}
+
+/// Worst-case model work one query can charge through the cached dispatch
+/// path, used by [`AdmissionPolicy::op_budget`] to size micro-batches:
+/// [`super::QUERY_WORDS`] for the input scan, plus per probe (two for a
+/// [`Query::Connected`], one otherwise) the probe read, an `ω`-weighted
+/// fill write, and `ω` operations as the miss-recompute proxy (queries
+/// cost `O(√ω)`–`O(ω)` expected operations).
+pub fn query_work_estimate(q: Query, omega: u64) -> u64 {
+    let probes = match q {
+        Query::Connected(..) => 2,
+        Query::Component(_) | Query::TwoEdgeConnected(..) | Query::Biconnected(..) => 1,
+    };
+    QUERY_WORDS + probes * (CACHE_PROBE_READS + omega * CACHE_INSERT_WRITES + omega)
+}
+
 /// When micro-batches form, how queries route to shards, how much each
 /// shard may cache, and how full caches evict. See the module docs for the
 /// exact semantics of each knob.
@@ -255,8 +341,9 @@ pub enum Eviction {
 /// let mut qled = Ledger::new(16);
 /// for phase in 0u32..4 {
 ///     for _ in 0..4 {
-///         srv.submit(&mut qled, Query::Component(phase)); // hot key of this phase
-///         srv.submit(&mut qled, Query::Component(30 + phase)); // one-off churn
+///         // hot key of this phase, then one-off churn
+///         srv.submit(&mut qled, Query::Component(phase)).unwrap();
+///         srv.submit(&mut qled, Query::Component(30 + phase)).unwrap();
 ///     }
 /// }
 /// srv.drain(&mut qled);
@@ -278,6 +365,15 @@ pub struct AdmissionPolicy {
     pub routing: Routing,
     /// Full-cache replacement policy (default: CLOCK).
     pub eviction: Eviction,
+    /// What `submit` does at the `max_queue` bound (default: the PR-4
+    /// inline dispatch; [`Overflow::Shed`] turns the bound into a typed
+    /// rejection).
+    pub overflow: Overflow,
+    /// Per-micro-batch budget of *estimated* model work
+    /// ([`query_work_estimate`]); 0 disables. A non-zero budget closes a
+    /// micro-batch before the query that would exceed it (always admitting
+    /// at least one), acting as a per-batch deadline in model time.
+    pub op_budget: u64,
 }
 
 impl AdmissionPolicy {
@@ -308,6 +404,19 @@ impl AdmissionPolicy {
         self.eviction = eviction;
         self
     }
+
+    /// The same policy with the given [`Overflow`] behaviour.
+    pub fn with_overflow(mut self, overflow: Overflow) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
+    /// The same policy with a per-batch estimated-work budget (0
+    /// disables).
+    pub fn with_op_budget(mut self, op_budget: u64) -> Self {
+        self.op_budget = op_budget;
+        self
+    }
 }
 
 impl Default for AdmissionPolicy {
@@ -318,6 +427,8 @@ impl Default for AdmissionPolicy {
             cache_capacity: 1 << 16,
             routing: Routing::Affinity { skew_factor: 4 },
             eviction: Eviction::Clock,
+            overflow: Overflow::DispatchInline,
+            op_budget: 0,
         }
     }
 }
@@ -383,8 +494,8 @@ impl CacheStats {
 /// let mut srv = StreamingServer::new(sharded, AdmissionPolicy::new(8, 32));
 ///
 /// let mut qled = Ledger::new(16);
-/// let t0 = srv.submit(&mut qled, Query::Connected(0, 35));
-/// let t1 = srv.submit(&mut qled, Query::Component(7));
+/// let t0 = srv.submit(&mut qled, Query::Connected(0, 35)).unwrap();
+/// let t1 = srv.submit(&mut qled, Query::Component(7)).unwrap();
 /// srv.drain(&mut qled);
 /// let (first, _) = srv.try_next().unwrap();
 /// let (second, _) = srv.try_next().unwrap();
@@ -395,9 +506,17 @@ pub struct StreamingServer<'o, 'g, G: GraphView> {
     policy: AdmissionPolicy,
     caches: Vec<Mutex<ShardCache>>,
     queue: VecDeque<(u64, Query)>,
-    ready: BTreeMap<u64, Answer>,
+    ready: BTreeMap<u64, ServeResult>,
     next_ticket: u64,
     next_deliver: u64,
+    fault: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+    health: Vec<ShardHealth>,
+    robust: RobustnessStats,
+    /// Counters of caches retired by quarantine, so `cache_stats` stays
+    /// cumulative across resets.
+    retired: CacheStats,
+    dispatch_seq: u64,
 }
 
 impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
@@ -409,7 +528,8 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             max_queue: policy.max_queue.max(1),
             ..policy
         };
-        let caches = (0..server.shards())
+        let shards = server.shards();
+        let caches = (0..shards)
             .map(|_| Mutex::new(ShardCache::default()))
             .collect();
         StreamingServer {
@@ -420,12 +540,89 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             ready: BTreeMap::new(),
             next_ticket: 0,
             next_deliver: 0,
+            fault: None,
+            recovery: RecoveryPolicy::default(),
+            health: vec![ShardHealth::default(); shards],
+            robust: RobustnessStats::default(),
+            retired: CacheStats::default(),
+            dispatch_seq: 0,
         }
+    }
+
+    /// The same server with a deterministic fault-injection plan
+    /// installed. A plan whose knobs are all zero is equivalent to no
+    /// plan: the dispatch path consults the plan only when something can
+    /// actually inject, so the fault-free charge sequence is untouched.
+    ///
+    /// ```
+    /// # use wec_asym::Ledger;
+    /// # use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+    /// # use wec_graph::{gen, Priorities};
+    /// use wec_serve::{AdmissionPolicy, FaultPlan, Query, ShardedServer, StreamingServer};
+    ///
+    /// # let g = gen::grid(6, 6);
+    /// # let pri = Priorities::random(36, 1);
+    /// # let verts: Vec<u32> = (0..36).collect();
+    /// # let mut led = Ledger::new(16);
+    /// # let oracle = ConnectivityOracle::build(
+    /// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
+    /// # std::panic::set_hook(Box::new(|_| {})); // silence injected panics
+    /// // Shard 0 panics on every dispatch; every query is still answered.
+    /// let sharded = ShardedServer::new(oracle.query_handle(), 2);
+    /// let mut srv = StreamingServer::new(sharded, AdmissionPolicy::new(8, 32))
+    ///     .with_fault_plan(FaultPlan::seeded(1).with_panic_per_mille(1000).with_target_shard(0));
+    /// let mut qled = Ledger::new(16);
+    /// for v in 0..36u32 {
+    ///     srv.submit(&mut qled, Query::Component(v)).unwrap();
+    /// }
+    /// srv.drain(&mut qled);
+    /// assert_eq!(srv.take_ready().len(), 36, "no query is lost to a panic");
+    /// let stats = srv.robustness_stats();
+    /// assert!(stats.panics_caught > 0 && stats.degraded_answers > 0);
+    /// ```
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The same server with the given recovery/breaker knobs.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = RecoveryPolicy {
+            max_retries: recovery.max_retries.max(1),
+            ..recovery
+        };
+        self
     }
 
     /// The admission policy in force.
     pub fn policy(&self) -> AdmissionPolicy {
         self.policy
+    }
+
+    /// The installed fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// The recovery/breaker knobs in force.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Cumulative counters of everything the recovery machinery did.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        self.robust
+    }
+
+    /// The health record (breaker state, failure streak) of one shard.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.health[shard]
+    }
+
+    /// Micro-batches dispatched so far (the fault plan's dispatch
+    /// coordinate).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatch_seq
     }
 
     /// Queries admitted but not yet dispatched.
@@ -453,23 +650,57 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         (h % self.server.shards() as u64) as usize
     }
 
-    /// Admit one query. If this brings the queue to the policy's
-    /// `max_queue`, micro-batches dispatch (charging `led`) until the queue
-    /// is below the threshold again.
-    pub fn submit(&mut self, led: &mut Ledger, q: Query) -> Ticket {
+    /// Admit one query. Under [`Overflow::DispatchInline`] (the default)
+    /// this never fails: bringing the queue to the policy's `max_queue`
+    /// dispatches micro-batches (charging `led`) until the queue is below
+    /// the threshold again. Under [`Overflow::Shed`] a queue already at
+    /// `max_queue` rejects the submission with
+    /// [`ServeError::Overloaded`] — no ticket is consumed, so accepted
+    /// submissions keep consecutive tickets and in-order delivery.
+    pub fn submit(&mut self, led: &mut Ledger, q: Query) -> Result<Ticket, ServeError> {
+        if self.policy.overflow == Overflow::Shed && self.queue.len() >= self.policy.max_queue {
+            self.robust.sheds += 1;
+            return Err(ServeError::Overloaded {
+                queue_len: self.queue.len(),
+                max_queue: self.policy.max_queue,
+            });
+        }
         let t = self.next_ticket;
         self.next_ticket += 1;
         self.queue.push_back((t, q));
-        while self.queue.len() >= self.policy.max_queue {
-            self.flush(led);
+        if self.policy.overflow == Overflow::DispatchInline {
+            while self.queue.len() >= self.policy.max_queue {
+                self.flush(led);
+            }
         }
-        Ticket(t)
+        Ok(Ticket(t))
+    }
+
+    /// How many queued queries the next micro-batch takes: up to
+    /// `max_batch`, shrunk further when a non-zero `op_budget` would be
+    /// exceeded (always at least one while the queue is non-empty).
+    fn next_batch_size(&self, omega: u64) -> usize {
+        let max = self.queue.len().min(self.policy.max_batch);
+        if self.policy.op_budget == 0 || max <= 1 {
+            return max;
+        }
+        let mut total = 0u64;
+        let mut take = 0usize;
+        for &(_, q) in self.queue.iter().take(max) {
+            total = total.saturating_add(query_work_estimate(q, omega));
+            if take > 0 && total > self.policy.op_budget {
+                break;
+            }
+            take += 1;
+        }
+        take
     }
 
     /// Dispatch one micro-batch of up to `max_batch` queued queries (fewer
-    /// if the queue drains first). Returns how many were dispatched.
+    /// if the queue drains first, or if the policy's `op_budget` closes
+    /// the batch early). Returns how many were dispatched.
     pub fn flush(&mut self, led: &mut Ledger) -> usize {
-        let take = self.queue.len().min(self.policy.max_batch);
+        let take = self.next_batch_size(led.omega());
         if take == 0 {
             return 0;
         }
@@ -491,17 +722,17 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         }
     }
 
-    /// Deliver the next answer **in submission order**: `Some` only when
-    /// the answer for the oldest undelivered ticket has been computed.
-    pub fn try_next(&mut self) -> Option<(Ticket, Answer)> {
+    /// Deliver the next result **in submission order**: `Some` only when
+    /// the result for the oldest undelivered ticket has been computed.
+    pub fn try_next(&mut self) -> Option<(Ticket, ServeResult)> {
         let a = self.ready.remove(&self.next_deliver)?;
         let t = Ticket(self.next_deliver);
         self.next_deliver += 1;
         Some((t, a))
     }
 
-    /// Deliver every consecutively-ready answer in submission order.
-    pub fn take_ready(&mut self) -> Vec<(Ticket, Answer)> {
+    /// Deliver every consecutively-ready result in submission order.
+    pub fn take_ready(&mut self) -> Vec<(Ticket, ServeResult)> {
         let mut out = Vec::new();
         while let Some(pair) = self.try_next() {
             out.push(pair);
@@ -509,11 +740,29 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         out
     }
 
-    /// Cumulative cache counters summed across shards.
-    pub fn cache_stats(&self) -> CacheStats {
-        let mut agg = CacheStats::default();
-        for c in &self.caches {
-            let s = c.lock().expect("shard cache poisoned").stats();
+    /// Recover one shard's cache lock: a poisoned mutex (a panic escaped
+    /// while a guard was live) is cleared, the cache is reset cold, and
+    /// the recovery is counted. Locking never wedges the server.
+    fn lock_recovered(&mut self, shard: usize) -> std::sync::MutexGuard<'_, ShardCache> {
+        match self.caches[shard].lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.caches[shard].clear_poison();
+                let mut g = poisoned.into_inner();
+                fold_retired(&mut self.retired, g.reset_cold());
+                self.robust.lock_poison_recoveries += 1;
+                g
+            }
+        }
+    }
+
+    /// Cumulative cache counters summed across shards, including the
+    /// history of caches retired by quarantine (`entries` counts only
+    /// currently-resident entries).
+    pub fn cache_stats(&mut self) -> CacheStats {
+        let mut agg = self.retired;
+        for shard in 0..self.caches.len() {
+            let s = self.lock_recovered(shard).stats();
             agg.hits += s.hits;
             agg.misses += s.misses;
             agg.inserts += s.inserts;
@@ -523,24 +772,134 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         agg
     }
 
-    /// Cumulative cache counters of one shard.
-    pub fn shard_cache_stats(&self, shard: usize) -> CacheStats {
-        self.caches[shard]
-            .lock()
-            .expect("shard cache poisoned")
-            .stats()
+    /// Cumulative cache counters of one shard's *current* cache (a
+    /// quarantine resets these; the retired history is aggregated in
+    /// [`StreamingServer::cache_stats`]).
+    pub fn shard_cache_stats(&mut self, shard: usize) -> CacheStats {
+        self.lock_recovered(shard).stats()
     }
 
-    /// Serve one micro-batch, parking the answers in the reorder buffer.
-    /// Affinity routing groups queries by owner shard (falling back to the
-    /// contiguous partition on skew); see the module-level cost contract.
+    /// Park one computed result in the reorder buffer.
+    fn park(&mut self, t: u64, r: ServeResult) {
+        if matches!(r, Err(ServeError::UnsupportedQuery(_))) {
+            self.robust.unsupported_queries += 1;
+        }
+        self.ready.insert(t, r);
+    }
+
+    /// Record a shard chunk that served `served` queries without
+    /// panicking: a non-empty success resets the failure streak and
+    /// closes a half-open breaker.
+    fn note_success(&mut self, shard: usize, served: usize) {
+        if served == 0 {
+            return;
+        }
+        let h = &mut self.health[shard];
+        h.consecutive_failures = 0;
+        if h.state == BreakerState::HalfOpen {
+            h.state = BreakerState::Closed;
+            self.robust.shards_restored += 1;
+        }
+    }
+
+    /// Record a shard chunk failure at dispatch `seq`: extend the failure
+    /// streak and trip the breaker at the policy threshold (a failed
+    /// half-open probe re-trips immediately).
+    fn note_failure(&mut self, seq: u64, shard: usize) {
+        let threshold = self.recovery.breaker_threshold;
+        let h = &mut self.health[shard];
+        h.consecutive_failures += 1;
+        if threshold > 0 && h.consecutive_failures >= threshold && h.state != BreakerState::Open {
+            h.state = BreakerState::Open;
+            h.opened_at = seq;
+            h.trips += 1;
+            self.robust.breaker_trips += 1;
+        }
+    }
+
+    /// Quarantine a panicked shard: recover its lock (clearing poison if
+    /// the panic held the guard), retire the cache's counters, and reset
+    /// it cold.
+    fn quarantine(&mut self, shard: usize) {
+        let dead = self.lock_recovered(shard).reset_cold();
+        fold_retired(&mut self.retired, dead);
+        self.robust.shards_quarantined += 1;
+    }
+
+    /// Recover one failed shard group per the documented recovery cost
+    /// contract: quarantine, health bookkeeping, the charged backoff
+    /// ladder, then the degraded uncached recompute of every affected
+    /// query, parked in the reorder buffer as usual.
+    fn recover_group(&mut self, led: &mut Ledger, seq: u64, shard: usize, group: &[(u64, Query)]) {
+        self.robust.panics_caught += 1;
+        self.quarantine(shard);
+        self.note_failure(seq, shard);
+        let max_retries = self.recovery.max_retries.max(1);
+        let mut attempt = 1u32;
+        loop {
+            self.robust.retries += 1;
+            led.op(self.recovery.retry_backoff_ops << (attempt - 1));
+            let fails_again = attempt < max_retries
+                && self
+                    .fault
+                    .is_some_and(|f| f.retry_fails(seq, shard as u64, attempt));
+            if !fails_again {
+                break;
+            }
+            attempt += 1;
+        }
+        for &(t, q) in group {
+            led.read(QUERY_WORDS);
+            let r = self.server.try_answer_one(led, q);
+            self.robust.degraded_answers += 1;
+            self.park(t, r);
+        }
+    }
+
+    /// Serve one micro-batch, parking results in the reorder buffer.
+    /// Healthy routing is the PR-4/PR-5 path (affinity with skew
+    /// fallback, or contiguous); with any circuit breaker open, the batch
+    /// partitions contiguously over the surviving shards instead. Every
+    /// shard chunk runs behind a panic-isolation boundary; failed chunks
+    /// are recovered through [`StreamingServer::recover_group`].
     fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
+        self.dispatch_seq += 1;
+        let seq = self.dispatch_seq;
         let n = batch.len();
         let s = self.server.shards();
+        // Breaker maintenance: cooled-down shards re-enter as probes.
+        if self.recovery.breaker_threshold > 0 {
+            for h in &mut self.health {
+                if h.state == BreakerState::Open
+                    && seq.saturating_sub(h.opened_at) >= self.recovery.breaker_cooldown.max(1)
+                {
+                    h.state = BreakerState::HalfOpen;
+                    self.robust.half_open_probes += 1;
+                }
+            }
+        }
+        let mut healthy: Vec<usize> = (0..s)
+            .filter(|&i| self.health[i].state != BreakerState::Open)
+            .collect();
+        if healthy.len() < s {
+            if healthy.is_empty() {
+                // Every breaker is open: rather than deadlock, probe the
+                // whole fleet at once (recovery suppresses injection on
+                // final retries, so progress is guaranteed regardless).
+                for h in &mut self.health {
+                    h.state = BreakerState::HalfOpen;
+                    self.robust.half_open_probes += 1;
+                }
+                healthy = (0..s).collect();
+            }
+            self.dispatch_mapped(led, batch, &healthy, seq);
+            return;
+        }
         let skew_factor = match self.policy.routing {
             Routing::Affinity { skew_factor } if self.policy.cache_capacity > 0 => skew_factor,
             _ => {
-                self.dispatch_contiguous(led, batch);
+                let all: Vec<usize> = (0..s).collect();
+                self.dispatch_mapped(led, batch, &all, seq);
                 return;
             }
         };
@@ -556,75 +915,183 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             // policy threshold, so affinity would serialize on one shard.
             // The routing ops above stay charged; everything else reverts
             // to the contiguous formula.
-            self.dispatch_contiguous(led, batch);
+            let all: Vec<usize> = (0..s).collect();
+            self.dispatch_mapped(led, batch, &all, seq);
             return;
         }
         let (server, caches) = (&self.server, &self.caches);
         let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
+        let fault = self.fault.filter(|f| f.injects_anything());
         // Exactly s accounting chunks, chunk i = shard i serving its own
         // group (execution may batch several shards per task on few-thread
         // machines; each shard still runs under its own scope and lock, so
         // hit/miss patterns and charges are unaffected).
-        let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(s, 1, &|r, scope| {
+        let parts: Vec<ChunkOutcome> = led.scoped_par(s, 1, &|r, scope| {
             let shard = r.start;
-            let group = &groups[shard];
-            scope.read(group.len() as u64 * QUERY_WORDS);
-            let mut cache = caches[shard].lock().expect("shard cache poisoned");
-            let mut out = Vec::with_capacity(group.len());
-            for &(t, q) in group {
-                out.push((
-                    t,
-                    answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q),
-                ));
-            }
-            cache.tally.flush(scope);
-            out
+            run_chunk(
+                server,
+                scope,
+                &caches[shard],
+                &groups[shard],
+                cap,
+                eviction,
+                fault,
+                seq,
+                shard,
+            )
         });
-        for p in parts {
-            for (t, a) in p {
-                self.ready.insert(t, a);
+        for (shard, outcome) in parts.into_iter().enumerate() {
+            match outcome {
+                ChunkOutcome::Done(out) => {
+                    let served = out.len();
+                    for (t, r) in out {
+                        self.park(t, r);
+                    }
+                    self.note_success(shard, served);
+                }
+                ChunkOutcome::Panicked => {
+                    let group = std::mem::take(&mut groups[shard]);
+                    self.recover_group(led, seq, shard, &group);
+                }
             }
         }
     }
 
-    /// The PR-3 dispatch: contiguous chunk `i` → shard `i` → cache `i`,
-    /// with the cache bypassed entirely at capacity 0.
-    fn dispatch_contiguous(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
+    /// Contiguous dispatch over an explicit shard map: the batch splits
+    /// into `⌈n/|map|⌉`-grained chunks and chunk `i` is served by shard
+    /// `map[i]` against cache `map[i]`. With the identity map this is
+    /// exactly the PR-3 contiguous path (cache bypassed at capacity 0);
+    /// with a surviving-shards map it is the breaker's degraded routing.
+    fn dispatch_mapped(
+        &mut self,
+        led: &mut Ledger,
+        batch: &[(u64, Query)],
+        map: &[usize],
+        seq: u64,
+    ) {
         let n = batch.len();
-        let grain = n.div_ceil(self.server.shards());
+        let grain = n.div_ceil(map.len());
         let (server, caches) = (&self.server, &self.caches);
         let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
-        let parts: Vec<Vec<(u64, Answer)>> = led.scoped_par(n, grain, &|r, scope| {
-            // Same bulk input-scan charge as the batch path.
-            scope.read(r.len() as u64 * QUERY_WORDS);
-            // Chunk i is shard i: this worker is the only one touching
-            // caches[i], so the lock never contends and hit/miss patterns
-            // stay schedule-independent.
-            let mut cache = caches[r.start / grain]
-                .lock()
-                .expect("shard cache poisoned");
-            let mut out = Vec::with_capacity(r.len());
-            for &(t, q) in &batch[r] {
-                let a = if cap == 0 {
-                    server.answer_one(scope.ledger(), q)
-                } else {
-                    answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q)
-                };
-                out.push((t, a));
-            }
-            cache.tally.flush(scope);
-            out
+        let fault = self.fault.filter(|f| f.injects_anything());
+        let parts: Vec<ChunkOutcome> = led.scoped_par(n, grain, &|r, scope| {
+            // Chunk i is shard map[i]: this worker is the only one
+            // touching that cache, so the lock never contends and
+            // hit/miss patterns stay schedule-independent.
+            let shard = map[r.start / grain];
+            run_chunk(
+                server,
+                scope,
+                &caches[shard],
+                &batch[r],
+                cap,
+                eviction,
+                fault,
+                seq,
+                shard,
+            )
         });
-        for p in parts {
-            for (t, a) in p {
-                self.ready.insert(t, a);
+        for (i, outcome) in parts.into_iter().enumerate() {
+            let shard = map[i];
+            match outcome {
+                ChunkOutcome::Done(out) => {
+                    let served = out.len();
+                    for (t, r) in out {
+                        self.park(t, r);
+                    }
+                    self.note_success(shard, served);
+                }
+                ChunkOutcome::Panicked => {
+                    let lo = i * grain;
+                    let hi = ((i + 1) * grain).min(n);
+                    let group: Vec<(u64, Query)> = batch[lo..hi].to_vec();
+                    self.recover_group(led, seq, shard, &group);
+                }
             }
         }
     }
 }
 
+/// What one isolated shard chunk produced.
+enum ChunkOutcome {
+    /// The chunk completed; results in group order.
+    Done(Vec<(u64, ServeResult)>),
+    /// The chunk panicked (real or injected); its charges (if any made it
+    /// to the scope before the unwind) merge as charged, its queries must
+    /// be recovered.
+    Panicked,
+}
+
+/// One shard's chunk of a dispatch, behind the panic-isolation boundary.
+/// Injected faults fire **before any charge**: a pre-lock panic leaves
+/// the mutex clean, a post-lock poison panic unwinds through the live
+/// guard (genuinely poisoning it), and neither charges the scope — which
+/// is what makes the documented recovery cost exact. The lock itself is
+/// poison-tolerant so one old panic can never wedge later dispatches.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<G: GraphView>(
+    server: &ShardedServer<'_, '_, G>,
+    scope: &mut LedgerScope,
+    cache_mutex: &Mutex<ShardCache>,
+    group: &[(u64, Query)],
+    cap: usize,
+    eviction: Eviction,
+    fault: Option<FaultPlan>,
+    seq: u64,
+    shard: usize,
+) -> ChunkOutcome {
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(f) = fault {
+            if let Some(stall) = f.stall_for(seq, shard as u64) {
+                // Wall-clock only: the model's costs never see stalls.
+                std::thread::sleep(stall);
+            }
+            if f.injects_panic(seq, shard as u64) {
+                panic!("injected shard panic (dispatch {seq}, shard {shard})");
+            }
+        }
+        let mut cache = cache_mutex.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = fault {
+            if f.injects_poison(seq, shard as u64) {
+                // Unwinds through the live guard: poisons the mutex.
+                panic!("injected cache-lock poisoning (dispatch {seq}, shard {shard})");
+            }
+        }
+        scope.read(group.len() as u64 * QUERY_WORDS);
+        let mut out = Vec::with_capacity(group.len());
+        for &(t, q) in group {
+            let r = if cap == 0 {
+                server.try_answer_one(scope.ledger(), q)
+            } else {
+                answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q)
+            };
+            out.push((t, r));
+        }
+        cache.tally.flush(scope);
+        out
+    }));
+    match ran {
+        Ok(out) => ChunkOutcome::Done(out),
+        Err(_) => ChunkOutcome::Panicked,
+    }
+}
+
+/// Fold a retired cache's counters into the cumulative aggregate. The
+/// retired entries are gone (the cache is cold), so `entries` is *not*
+/// folded — only the monotone counters survive.
+fn fold_retired(agg: &mut CacheStats, dead: CacheStats) {
+    agg.hits += dead.hits;
+    agg.misses += dead.misses;
+    agg.inserts += dead.inserts;
+    agg.evictions += dead.evictions;
+}
+
 /// Answer one query through the shard's cache, charging exactly the
-/// module-level hit/miss/eviction contract (items 3–5).
+/// module-level hit/miss/eviction contract (items 3–5). A
+/// biconnectivity-class query on a server without a biconnectivity oracle
+/// is rejected with [`ServeError::UnsupportedQuery`] *before* probing, so
+/// the rejection charges nothing and the cache never learns spurious
+/// keys.
 fn answer_cached<G: GraphView>(
     server: &ShardedServer<'_, '_, G>,
     led: &mut Ledger,
@@ -632,34 +1099,40 @@ fn answer_cached<G: GraphView>(
     capacity: usize,
     eviction: Eviction,
     q: Query,
-) -> Answer {
+) -> ServeResult {
     match q {
-        Query::Component(v) => {
-            Answer::Component(memo_component(server, led, cache, capacity, eviction, v))
-        }
+        Query::Component(v) => Ok(Answer::Component(memo_component(
+            server, led, cache, capacity, eviction, v,
+        ))),
         Query::Connected(u, v) => {
             // The answer is derived from the memoized ComponentId pair; the
             // comparison is free, as in ConnQueryHandle::component_pair.
             let a = memo_component(server, led, cache, capacity, eviction, u);
             let b = memo_component(server, led, cache, capacity, eviction, v);
-            Answer::Connected(a == b)
+            Ok(Answer::Connected(a == b))
         }
-        Query::TwoEdgeConnected(u, v) => Answer::TwoEdgeConnected(memo_pred(
-            server,
-            led,
-            cache,
-            capacity,
-            eviction,
-            BiconnQueryKey::two_edge_connected(u, v),
-        )),
-        Query::Biconnected(u, v) => Answer::Biconnected(memo_pred(
-            server,
-            led,
-            cache,
-            capacity,
-            eviction,
-            BiconnQueryKey::biconnected(u, v),
-        )),
+        Query::TwoEdgeConnected(u, v) => match server.bicon_handle() {
+            Some(h) => Ok(Answer::TwoEdgeConnected(memo_pred(
+                h,
+                led,
+                cache,
+                capacity,
+                eviction,
+                BiconnQueryKey::two_edge_connected(u, v),
+            ))),
+            None => Err(ServeError::UnsupportedQuery(q)),
+        },
+        Query::Biconnected(u, v) => match server.bicon_handle() {
+            Some(h) => Ok(Answer::Biconnected(memo_pred(
+                h,
+                led,
+                cache,
+                capacity,
+                eviction,
+                BiconnQueryKey::biconnected(u, v),
+            ))),
+            None => Err(ServeError::UnsupportedQuery(q)),
+        },
     }
 }
 
@@ -683,7 +1156,7 @@ fn memo_component<G: GraphView>(
 }
 
 fn memo_pred<G: GraphView>(
-    server: &ShardedServer<'_, '_, G>,
+    bicon: BiconnQueryHandle<'_, '_, G>,
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
@@ -696,10 +1169,7 @@ fn memo_pred<G: GraphView>(
         };
         return ans;
     }
-    let ans = server
-        .bicon_handle()
-        .expect("server was built without a biconnectivity oracle")
-        .answer_key(led, key);
+    let ans = bicon.answer_key(led, key);
     cache.fill(CacheKey::Pred(key), CacheVal::Pred(ans), capacity, eviction);
     ans
 }

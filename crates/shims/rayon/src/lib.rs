@@ -163,6 +163,11 @@ where
         let job = &*(data as *const Self);
         let func = (*job.func.get()).take().expect("job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
+        if result.is_err() {
+            // The worker survives; the panic ships back through the result
+            // slot and re-raises in the joiner (`into_result`).
+            stats().caught_panics.fetch_add(1, Ordering::Relaxed);
+        }
         *job.result.get() = Some(result);
         // The joiner may observe `done` and tear down the frame immediately
         // (its wait loop polls the flag), so the store must be the last
@@ -361,6 +366,10 @@ pub struct SchedulerStats {
     pub blocked_joins: u64,
     /// Times an idle worker gave up stealing and parked.
     pub parks: u64,
+    /// Panics caught at a scheduler isolation boundary (a job body or an
+    /// inline join branch) and held for re-raise in the joiner — the
+    /// worker itself always survives.
+    pub caught_panics: u64,
 }
 
 impl SchedulerStats {
@@ -376,6 +385,7 @@ impl SchedulerStats {
             injector_reclaims: self.injector_reclaims - earlier.injector_reclaims,
             blocked_joins: self.blocked_joins - earlier.blocked_joins,
             parks: self.parks - earlier.parks,
+            caught_panics: self.caught_panics - earlier.caught_panics,
         }
     }
 }
@@ -393,6 +403,7 @@ struct StatCells {
     injector_reclaims: AtomicU64,
     blocked_joins: AtomicU64,
     parks: AtomicU64,
+    caught_panics: AtomicU64,
 }
 
 /// Stripes: workers hash onto 1..STAT_STRIPES by index, external threads
@@ -410,6 +421,7 @@ const STAT_CELLS_ZERO: StatCells = StatCells {
     injector_reclaims: AtomicU64::new(0),
     blocked_joins: AtomicU64::new(0),
     parks: AtomicU64::new(0),
+    caught_panics: AtomicU64::new(0),
 };
 
 static STATS: [StatCells; STAT_STRIPES] = [STAT_CELLS_ZERO; STAT_STRIPES];
@@ -435,6 +447,7 @@ pub fn scheduler_stats() -> SchedulerStats {
         s.injector_reclaims += cell.injector_reclaims.load(Ordering::Relaxed);
         s.blocked_joins += cell.blocked_joins.load(Ordering::Relaxed);
         s.parks += cell.parks.load(Ordering::Relaxed);
+        s.caught_panics += cell.caught_panics.load(Ordering::Relaxed);
     }
     s
 }
@@ -670,6 +683,9 @@ where
     // be settled (reclaimed or awaited) before this frame unwinds, because
     // a thief may hold a pointer into it.
     let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    if ra.is_err() {
+        stats().caught_panics.fetch_add(1, Ordering::Relaxed);
+    }
     let reclaimed = match placement {
         Placement::Deque(w) => match pool.deques[w].pop() {
             Some(popped) => {
@@ -1020,6 +1036,41 @@ mod tests {
     fn panics_propagate_from_published_branch() {
         setup();
         let _ = join(|| 7, || panic!("right boom"));
+    }
+
+    #[test]
+    fn caught_panics_counter_observes_isolation_boundary() {
+        setup();
+        let before = scheduler_stats();
+        // Panics in either branch are caught at the scheduler boundary
+        // (and re-raised to this caller); the pool must both survive and
+        // count them.
+        for i in 0..4u32 {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                join(
+                    || {
+                        if i % 2 == 0 {
+                            panic!("left fault")
+                        }
+                    },
+                    || {
+                        if i % 2 == 1 {
+                            panic!("right fault")
+                        }
+                    },
+                )
+            }));
+            assert!(result.is_err(), "branch panic must re-raise at the join");
+        }
+        let delta = scheduler_stats().since(&before);
+        assert!(
+            delta.caught_panics >= 4,
+            "4 faulted joins must be counted, saw {}",
+            delta.caught_panics
+        );
+        // The pool still schedules normally afterwards.
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
     }
 
     #[test]

@@ -251,7 +251,7 @@ fn affinity_clock_contract_exact_cold_then_warm() {
     // Cold pass.
     let mut cold = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut cold, q);
+        srv.submit(&mut cold, q).unwrap();
     }
     srv.drain(&mut cold);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -273,7 +273,7 @@ fn affinity_clock_contract_exact_cold_then_warm() {
     // Warm pass over the same stream and surviving CLOCK state.
     let mut warm = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut warm, q);
+        srv.submit(&mut warm, q).unwrap();
     }
     srv.drain(&mut warm);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -307,7 +307,7 @@ fn affinity_clock_bit_identical_across_parallelism() {
                 .with_eviction(Eviction::Clock),
         );
         for &q in &stream {
-            srv.submit(&mut led, q);
+            srv.submit(&mut led, q).unwrap();
         }
         srv.drain(&mut led);
         let answers: Vec<(u64, _)> = srv
@@ -352,7 +352,7 @@ fn capacity_zero_bypasses_cache_even_under_affinity_clock() {
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -394,7 +394,7 @@ fn capacity_one_churns_in_place_and_stays_correct() {
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     let delivered = srv.take_ready();
@@ -417,7 +417,11 @@ fn capacity_one_churns_in_place_and_stays_correct() {
         ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
     for (i, (_, a)) in delivered.iter().enumerate() {
         let mut one = Ledger::new(OMEGA);
-        assert_eq!(*a, server1.answer_one(&mut one, stream[i]), "answer {i}");
+        assert_eq!(
+            a.unwrap(),
+            server1.answer_one(&mut one, stream[i]),
+            "answer {i}"
+        );
     }
 }
 
@@ -442,7 +446,7 @@ fn adversarial_churn_all_distinct_keys_hit_rate_zero() {
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -489,7 +493,7 @@ fn skew_fallback_charges_contiguous_plus_routing_scan() {
         );
         let mut led = Ledger::new(OMEGA);
         for &q in &stream {
-            srv.submit(&mut led, q);
+            srv.submit(&mut led, q).unwrap();
         }
         srv.drain(&mut led);
         assert_eq!(srv.take_ready().len(), stream.len());
@@ -573,7 +577,7 @@ fn affinity_clock_beats_fill_baseline_under_capacity_pressure() {
         );
         let mut led = Ledger::new(OMEGA);
         for &q in &stream {
-            srv.submit(&mut led, q);
+            srv.submit(&mut led, q).unwrap();
         }
         srv.drain(&mut led);
         assert_eq!(srv.take_ready().len(), stream.len());

@@ -172,7 +172,10 @@ fn answers_in_submission_order_and_match_one_by_one() {
         AdmissionPolicy::new(48, 96).with_cache_capacity(1 << 12),
     );
     let mut led = Ledger::new(OMEGA);
-    let tickets: Vec<_> = stream.iter().map(|&q| srv.submit(&mut led, q)).collect();
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|&q| srv.submit(&mut led, q).unwrap())
+        .collect();
     srv.drain(&mut led);
     let delivered = srv.take_ready();
     assert_eq!(delivered.len(), stream.len());
@@ -183,7 +186,7 @@ fn answers_in_submission_order_and_match_one_by_one() {
         assert_eq!(*t, tickets[i], "delivery out of submission order at {i}");
         let mut one = Ledger::new(OMEGA);
         assert_eq!(
-            *a,
+            a.unwrap(),
             server1.answer_one(&mut one, stream[i]),
             "cached answer differs from the oracle at {i} ({:?})",
             stream[i]
@@ -223,7 +226,7 @@ fn hit_miss_cost_contract_exact_cold_then_warm() {
     // Cold pass.
     let mut cold = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut cold, q);
+        srv.submit(&mut cold, q).unwrap();
     }
     srv.drain(&mut cold);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -245,7 +248,7 @@ fn hit_miss_cost_contract_exact_cold_then_warm() {
     // every probe hits, so the replay adds no miss costs and no fills.
     let mut warm = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut warm, q);
+        srv.submit(&mut warm, q).unwrap();
     }
     srv.drain(&mut warm);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -288,13 +291,13 @@ fn costs_bit_identical_across_parallelism() {
             AdmissionPolicy::new(32, 64).with_cache_capacity(1 << 10),
         );
         for &q in &stream {
-            srv.submit(&mut led, q);
+            srv.submit(&mut led, q).unwrap();
         }
         srv.drain(&mut led);
         let answers: Vec<(u64, Answer)> = srv
             .take_ready()
             .into_iter()
-            .map(|(t, a)| (t.id(), a))
+            .map(|(t, a)| (t.id(), a.unwrap()))
             .collect();
         let stats = srv.cache_stats();
         (
@@ -328,7 +331,7 @@ fn batch_size_one_dispatches_every_submission() {
     .into_iter()
     .enumerate()
     {
-        let t = srv.submit(&mut led, q);
+        let t = srv.submit(&mut led, q).unwrap();
         assert_eq!(srv.queue_len(), 0, "batch size 1 dispatches immediately");
         let (got, _) = srv.try_next().expect("answer ready right after submit");
         assert_eq!(got, t);
@@ -349,7 +352,7 @@ fn drain_ships_short_final_batch_when_queue_runs_out() {
     let mut srv = streaming_server(&conn, &bicon, AdmissionPolicy::new(128, 10_000));
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     assert_eq!(
         srv.queue_len(),
@@ -382,7 +385,7 @@ fn capacity_zero_charges_exactly_the_sharded_batch_path() {
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     assert_eq!(srv.take_ready().len(), stream.len());
@@ -422,7 +425,7 @@ fn tiny_capacity_bounds_fills_but_not_correctness() {
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
-        srv.submit(&mut led, q);
+        srv.submit(&mut led, q).unwrap();
     }
     srv.drain(&mut led);
     let delivered = srv.take_ready();
@@ -441,6 +444,10 @@ fn tiny_capacity_bounds_fills_but_not_correctness() {
         ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
     for (i, (_, a)) in delivered.iter().enumerate() {
         let mut one = Ledger::new(OMEGA);
-        assert_eq!(*a, server1.answer_one(&mut one, stream[i]), "answer {i}");
+        assert_eq!(
+            a.unwrap(),
+            server1.answer_one(&mut one, stream[i]),
+            "answer {i}"
+        );
     }
 }
