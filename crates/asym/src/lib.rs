@@ -49,6 +49,7 @@ pub mod array;
 pub mod cost;
 pub mod hash;
 pub mod ledger;
+pub mod mutation;
 pub mod report;
 
 pub use array::{AsymArray, AsymAtomicBitmap};
@@ -56,6 +57,10 @@ pub use cost::Costs;
 pub use hash::{stable_combine, stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ledger::{
     CacheTally, Charge, CostTally, Grain, Ledger, LedgerScope, DEFAULT_CHUNKS_PER_WORKER,
+};
+pub use mutation::{
+    DELTA_EDGE_WORDS, EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS,
+    OVERLAY_ENTRY_WRITES, OVERLAY_FIND_OPS, OVERLAY_LOOKUP_READS, OVERLAY_UNION_OPS,
 };
 pub use report::CostReport;
 

@@ -151,10 +151,13 @@ fn main() {
             .with_biconnectivity(bicon.query_handle());
         StreamingServer::new(
             sharded,
-            AdmissionPolicy::new(256, 256)
-                .with_cache_capacity(capacity)
-                .with_routing(routing)
-                .with_eviction(eviction),
+            AdmissionPolicy::builder()
+                .max_batch(256)
+                .max_queue(256)
+                .cache_capacity(capacity)
+                .routing(routing)
+                .eviction(eviction)
+                .build(),
         )
     };
 

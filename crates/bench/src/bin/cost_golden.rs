@@ -111,7 +111,11 @@ fn main() {
             ShardedServer::new(conn.query_handle(), 3).with_biconnectivity(bicon.query_handle());
         StreamingServer::new(
             sharded,
-            AdmissionPolicy::new(32, 64).with_cache_capacity(1 << 12),
+            AdmissionPolicy::builder()
+                .max_batch(32)
+                .max_queue(64)
+                .cache_capacity(1 << 12)
+                .build(),
         )
     };
     let mut srv = make_streaming();

@@ -141,10 +141,13 @@ fn main() {
             .with_biconnectivity(bicon.query_handle());
         let mut srv = StreamingServer::new(
             sharded,
-            AdmissionPolicy::new(MAX_BATCH, MAX_BATCH)
-                .with_cache_capacity(256)
-                .with_routing(Routing::Affinity { skew_factor: 4 })
-                .with_eviction(Eviction::Clock),
+            AdmissionPolicy::builder()
+                .max_batch(MAX_BATCH)
+                .max_queue(MAX_BATCH)
+                .cache_capacity(256)
+                .routing(Routing::Affinity { skew_factor: 4 })
+                .eviction(Eviction::Clock)
+                .build(),
         )
         .with_recovery(RecoveryPolicy::default());
         if let Some(p) = p {

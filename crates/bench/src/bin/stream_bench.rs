@@ -112,7 +112,11 @@ fn main() {
         // dispatches it, the steady-state streaming regime.
         StreamingServer::new(
             sharded,
-            AdmissionPolicy::new(max_batch, max_batch).with_cache_capacity(capacity),
+            AdmissionPolicy::builder()
+                .max_batch(max_batch)
+                .max_queue(max_batch)
+                .cache_capacity(capacity)
+                .build(),
         )
     };
 

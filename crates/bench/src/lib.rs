@@ -33,7 +33,11 @@
 //! seeded fault-injection plan through the streaming server at shard-panic
 //! rates of 0%, 0.1%, 1%, and 5% — measuring answer completeness and
 //! throughput against a crash-on-first-fault baseline — and emits
-//! `BENCH_PR6.json`. Criterion wall-clock benches live in `benches/`.
+//! `BENCH_PR6.json`; `epoch_bench` drives the same workload with batched
+//! edge insertions installed as epoch snapshots at 1% of the query rate —
+//! proving zero queries block on an install while measuring the
+//! throughput retained against the read-only baseline — and emits
+//! `BENCH_PR7.json`. Criterion wall-clock benches live in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -732,6 +736,170 @@ impl FaultSnapshot {
     /// override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_FAULT_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One measured leg of the epoch-snapshot mutation sweep: the 94%-hot
+/// streaming workload with batched edge insertions staged and installed
+/// at a fixed fraction of the query rate (0‰ = the read-only baseline).
+#[derive(Debug, Clone)]
+pub struct EpochLeg {
+    /// Edge insertions per thousand queries (0 = read-only baseline).
+    pub update_per_mille: u64,
+    /// Edges batched into each installed `GraphDelta`; 0 on the
+    /// read-only leg.
+    pub delta_batch: u64,
+    /// Median wall-clock seconds for the whole stream (mutations
+    /// included on mutating legs).
+    pub seconds_per_stream: f64,
+    /// Queries answered per second (`stream_len / seconds_per_stream`).
+    pub query_throughput_per_sec: f64,
+    /// Epoch installs performed (epoch advances).
+    pub installs: u64,
+    /// Delta edges staged across the run.
+    pub staged_edges: u64,
+    /// Queries that had to wait for an epoch install before being
+    /// answered. The double-buffered contract pins this at 0: installs
+    /// never drain the queue and stragglers answer through their
+    /// submission epoch's retained overlay.
+    pub blocked_on_install: u64,
+    /// Queries delivered between `stage_delta` and the matching
+    /// `install_staged` — reads served while the next epoch was being
+    /// built.
+    pub answered_during_stage: u64,
+    /// Queries answered through a retained older epoch's overlay (in
+    /// flight across an install).
+    pub straggler_answers: u64,
+    /// Undelivered tickets outstanding at install time, summed over
+    /// installs.
+    pub in_flight_at_install: u64,
+    /// Cache entries removed by install-time invalidation sweeps.
+    pub invalidated_entries: u64,
+    /// Resident cache slots scanned by invalidation sweeps.
+    pub invalidation_swept_slots: u64,
+    /// Old epoch overlays retired once delivery passed their last ticket.
+    pub retired_overlays: u64,
+    /// Cache hits across all shard caches.
+    pub cache_hits: u64,
+    /// Cache misses across all shard caches.
+    pub cache_misses: u64,
+    /// Model asymmetric reads charged per query (mutation charges
+    /// included).
+    pub reads_per_query: f64,
+    /// Model asymmetric writes charged per query (mutation charges
+    /// included).
+    pub writes_per_query: f64,
+    /// Model operations charged per query (mutation charges included).
+    pub ops_per_query: f64,
+}
+
+impl EpochLeg {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("update_per_mille", self.update_per_mille)
+            .num("delta_batch", self.delta_batch)
+            .float("seconds_per_stream", self.seconds_per_stream)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .num("installs", self.installs)
+            .num("staged_edges", self.staged_edges)
+            .num("blocked_on_install", self.blocked_on_install)
+            .num("answered_during_stage", self.answered_during_stage)
+            .num("straggler_answers", self.straggler_answers)
+            .num("in_flight_at_install", self.in_flight_at_install)
+            .num("invalidated_entries", self.invalidated_entries)
+            .num("invalidation_swept_slots", self.invalidation_swept_slots)
+            .num("retired_overlays", self.retired_overlays)
+            .num("cache_hits", self.cache_hits)
+            .num("cache_misses", self.cache_misses)
+            .float("reads_per_query", self.reads_per_query)
+            .float("writes_per_query", self.writes_per_query)
+            .float("ops_per_query", self.ops_per_query)
+            .finish()
+    }
+}
+
+/// The machine-readable dynamic-graph snapshot (`BENCH_PR7.json`): the
+/// 94%-hot streaming workload with batched edge insertions installed as
+/// epoch snapshots at 1% of the query rate, against the read-only
+/// baseline leg. The top-level `query_throughput_per_sec` (read-only),
+/// `mutating_throughput_per_sec`, `throughput_retained_pct`,
+/// `blocked_on_install` (must be 0), `answered_during_stage`, and
+/// `installs` keys are what the CI bench guard validates.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the base benchmark graph (before any delta).
+    pub m: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Queries per stream run.
+    pub stream_len: u64,
+    /// Stream-generator seed.
+    pub seed: u64,
+    /// All measured legs, ascending by update rate.
+    pub legs: Vec<EpochLeg>,
+}
+
+impl EpochSnapshot {
+    fn leg(&self, update_per_mille: u64) -> Option<&EpochLeg> {
+        self.legs
+            .iter()
+            .find(|l| l.update_per_mille == update_per_mille)
+    }
+
+    /// Throughput of the mutating leg at `update_per_mille` relative to
+    /// the read-only baseline, as a percentage (100 = no degradation).
+    pub fn throughput_retained_pct(&self, update_per_mille: u64) -> f64 {
+        match (self.leg(0), self.leg(update_per_mille)) {
+            (Some(base), Some(l)) if base.query_throughput_per_sec > 0.0 => {
+                100.0 * l.query_throughput_per_sec / base.query_throughput_per_sec
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .num("shards", self.shards)
+            .num("stream_len", self.stream_len)
+            .num("seed", self.seed)
+            .raw("legs", &json::array(self.legs.iter().map(|l| l.to_json())));
+        if let Some(base) = self.leg(0) {
+            obj = obj.float("query_throughput_per_sec", base.query_throughput_per_sec);
+        }
+        if let Some(l) = self.leg(10) {
+            obj = obj
+                .float("mutating_throughput_per_sec", l.query_throughput_per_sec)
+                .float("throughput_retained_pct", self.throughput_retained_pct(10))
+                .num("blocked_on_install", l.blocked_on_install)
+                .num("answered_during_stage", l.answered_during_stage)
+                .num("installs", l.installs)
+                .num("invalidated_entries", l.invalidated_entries)
+                .num("straggler_answers", l.straggler_answers);
+        }
+        obj.finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_EPOCH_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_EPOCH_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

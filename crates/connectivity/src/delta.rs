@@ -1,0 +1,444 @@
+//! Batched edge insertions over a built oracle — the dynamic-graph path.
+//!
+//! The oracle of §4.3 is build-once: it stores one label per center and
+//! answers queries in `O(√ω)` expected operations with no writes. This
+//! module adds the ConnectIt-style incremental layer on top: a batch of
+//! edge insertions ([`GraphDelta`]) is folded into a frozen
+//! [`ComponentOverlay`] — a small table remapping *base* component ids to
+//! their post-insertion canonical ids — without ever rebuilding the
+//! decomposition. Connectivity under insertions only ever merges
+//! components, so an overlay over [`ComponentId`]s is a complete
+//! representation of the mutated graph's connectivity.
+//!
+//! The fold runs in two phases, mirroring ConnectIt's sample/finish split:
+//!
+//! 1. **Sample** (parallel): resolve both endpoints of every delta edge to
+//!    their current canonical [`ComponentId`] — an oracle `component`
+//!    query plus a lookup through the base overlay. Runs under
+//!    [`Ledger::scoped_par`] at [`DELTA_SAMPLE_GRAIN`], so the charged
+//!    costs are bit-identical across thread counts.
+//! 2. **Finish** (sequential): union the sampled id pairs in a scratch
+//!    union-find over the distinct ids, pick the minimum [`ComponentId`]
+//!    of each merged class as its canonical representative, and freeze the
+//!    result — recanonicalizing the base overlay's entries through the new
+//!    merges — into one flat table.
+//!
+//! ## Charge contract
+//!
+//! For a delta of `m > 0` edges folded over a base overlay with `b`
+//! entries, where the sample phase sees `d` distinct endpoint classes and
+//! the finish phase performs `u` successful unions producing a frozen
+//! table of `t` entries, [`ConnQueryHandle::extend_overlay`] charges
+//! exactly:
+//!
+//! * sample — `⌈m/G⌉ − 1` ops + `⌈log₂⌈m/G⌉⌉` depth of `scoped_par`
+//!   bookkeeping (`G =` [`DELTA_SAMPLE_GRAIN`]), and per chunk:
+//!   [`DELTA_EDGE_WORDS`]`·len` reads for the edge payloads plus, per
+//!   endpoint, the oracle's `component` charge and — iff the base overlay
+//!   is non-empty — [`OVERLAY_LOOKUP_READS`] reads;
+//! * finish — `2m·`[`OVERLAY_FIND_OPS`] plus `u·`[`OVERLAY_UNION_OPS`]
+//!   plus `d·`[`OVERLAY_FIND_OPS`] ops (two finds per pair, one op per
+//!   successful union, one find per distinct class to resolve its
+//!   canonical representative);
+//! * freeze (skipped when `u = 0`) — `b·`[`OVERLAY_LOOKUP_READS`] reads
+//!   to recanonicalize the base table and `t·`[`OVERLAY_ENTRY_WRITES`]
+//!   **asymmetric writes** for the frozen table.
+//!
+//! The freeze writes are the only asymmetric writes of a mutation: `t` is
+//! the cumulative number of base ids whose canonical id has changed, so
+//! the write bill is `O(changed mappings)` — never `O(m)` or `O(n)` — the
+//! paper's write-efficiency discipline carried over to the dynamic path.
+//! A delta that merges nothing (`u = 0`) returns the base overlay
+//! unchanged and writes nothing.
+//!
+//! Deletions are a designed extension, not implemented: the decremental
+//! structure of Aamand et al. would slot in as a second overlay kind
+//! behind the same `canonical` interface, which is why lookups go through
+//! the overlay rather than comparing raw ids at call sites.
+
+use wec_asym::{
+    Charge, Ledger, DELTA_EDGE_WORDS, OVERLAY_ENTRY_WRITES, OVERLAY_FIND_OPS, OVERLAY_LOOKUP_READS,
+    OVERLAY_UNION_OPS,
+};
+use wec_asym::{FxHashMap, FxHashSet};
+use wec_baseline::UnionFind;
+use wec_graph::{GraphView, Vertex};
+
+use crate::oracle::{ComponentId, ConnQueryHandle};
+
+/// Accounting grain of the sample phase: one [`wec_asym::LedgerScope`]
+/// chunk per `DELTA_SAMPLE_GRAIN` delta edges. Part of the charge
+/// contract (it fixes the `scoped_par` bookkeeping term), so it is pinned
+/// like the serving-layer constants.
+pub const DELTA_SAMPLE_GRAIN: usize = 16;
+
+/// A batch of edge insertions to fold into the connectivity oracle.
+///
+/// Deltas are plain data — building one charges nothing; the fold
+/// ([`ConnQueryHandle::extend_overlay`]) charges for reading the edges.
+/// Duplicate edges and edges within one component are legal and simply
+/// produce no-op unions.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    edges: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A batch over pre-collected edges.
+    pub fn from_edges(edges: Vec<(Vertex, Vertex)>) -> Self {
+        GraphDelta { edges }
+    }
+
+    /// Append one edge insertion.
+    pub fn insert(&mut self, u: Vertex, v: Vertex) {
+        self.edges.push((u, v));
+    }
+
+    /// The batched insertions, in submission order.
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        &self.edges
+    }
+
+    /// Number of batched insertions.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A frozen remap of base [`ComponentId`]s to post-insertion canonical
+/// ids — the oracle-side half of an epoch snapshot (see `wec-serve`).
+///
+/// The table maps exactly the base ids whose canonical id has changed;
+/// every table value is a fixed point (`peek(val) == val`), so one lookup
+/// fully resolves any id. An empty overlay is epoch 0: lookups through it
+/// are free, which keeps the read-only serving path bit-identical to its
+/// pre-mutation costs.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentOverlay {
+    map: FxHashMap<ComponentId, ComponentId>,
+}
+
+impl ComponentOverlay {
+    /// The identity overlay (epoch 0): every id is its own canonical id.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Resolve `id` to its canonical id under this overlay, charging
+    /// [`OVERLAY_LOOKUP_READS`] iff the overlay is non-empty. This is the
+    /// charged form used on query paths; use [`ComponentOverlay::peek`]
+    /// for model-free inspection.
+    #[inline]
+    pub fn canonical(&self, sink: &mut impl Charge, id: ComponentId) -> ComponentId {
+        if self.map.is_empty() {
+            return id;
+        }
+        sink.charge_reads(OVERLAY_LOOKUP_READS);
+        self.peek(id)
+    }
+
+    /// Resolve `id` without charging — for staleness probes whose cost is
+    /// priced by the caller (the install-time invalidation sweep) and for
+    /// tests.
+    #[inline]
+    pub fn peek(&self, id: ComponentId) -> ComponentId {
+        self.map.get(&id).copied().unwrap_or(id)
+    }
+
+    /// Number of remapped ids (base ids whose canonical id changed).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is the identity overlay.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The remapped `(base id, canonical id)` pairs, in no particular
+    /// order. For tests and diagnostics; iteration is not charged.
+    pub fn remapped(&self) -> impl Iterator<Item = (ComponentId, ComponentId)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl<G: GraphView + Sync> ConnQueryHandle<'_, '_, G> {
+    /// Fold a batch of edge insertions over `base`, returning the frozen
+    /// overlay for the next epoch. ConnectIt-style sample-then-finish;
+    /// see the [module docs](self) for the exact charge contract.
+    ///
+    /// The costs are structural — bit-identical across `WEC_THREADS` —
+    /// because the parallel sample runs under [`Ledger::scoped_par`] and
+    /// everything else is sequential.
+    pub fn extend_overlay(
+        &self,
+        led: &mut Ledger,
+        base: &ComponentOverlay,
+        delta: &GraphDelta,
+    ) -> ComponentOverlay {
+        if delta.is_empty() {
+            return base.clone();
+        }
+        let edges = delta.edges();
+
+        // Sample: resolve every endpoint to its current canonical id.
+        let sampled: Vec<Vec<(ComponentId, ComponentId)>> =
+            led.scoped_par(edges.len(), DELTA_SAMPLE_GRAIN, &|range, scope| {
+                scope.read(DELTA_EDGE_WORDS * range.len() as u64);
+                let mut out = Vec::with_capacity(range.len());
+                for &(u, v) in &edges[range] {
+                    let a = self.component(scope.ledger(), u);
+                    let a = base.canonical(scope, a);
+                    let b = self.component(scope.ledger(), v);
+                    let b = base.canonical(scope, b);
+                    out.push((a, b));
+                }
+                out
+            });
+
+        // Finish: index the distinct classes in first-appearance order and
+        // union the sampled pairs sequentially.
+        let mut ids: Vec<ComponentId> = Vec::new();
+        let mut index: FxHashMap<ComponentId, u32> = FxHashMap::default();
+        let mut intern = |id: ComponentId, ids: &mut Vec<ComponentId>| -> u32 {
+            *index.entry(id).or_insert_with(|| {
+                ids.push(id);
+                (ids.len() - 1) as u32
+            })
+        };
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for (a, b) in sampled.into_iter().flatten() {
+            let ia = intern(a, &mut ids);
+            let ib = intern(b, &mut ids);
+            pairs.push((ia, ib));
+        }
+        let mut uf = UnionFind::new(ids.len());
+        let mut unions = 0u64;
+        for &(ia, ib) in &pairs {
+            led.op(2 * OVERLAY_FIND_OPS);
+            if uf.union(ia, ib) {
+                led.op(OVERLAY_UNION_OPS);
+                unions += 1;
+            }
+        }
+        if unions == 0 {
+            return base.clone();
+        }
+
+        // Canonical representative of each merged class: the minimum id.
+        led.op(ids.len() as u64 * OVERLAY_FIND_OPS);
+        let roots: Vec<u32> = (0..ids.len() as u32).map(|i| uf.find(i)).collect();
+        let mut canon: Vec<ComponentId> = ids.clone();
+        for (i, &id) in ids.iter().enumerate() {
+            let r = roots[i] as usize;
+            if id < canon[r] {
+                canon[r] = id;
+            }
+        }
+
+        // Freeze: new merges plus the base table recanonicalized through
+        // them, all values fixed points.
+        let mut table: FxHashMap<ComponentId, ComponentId> = FxHashMap::default();
+        for (i, &id) in ids.iter().enumerate() {
+            let c = canon[roots[i] as usize];
+            if c != id {
+                table.insert(id, c);
+            }
+        }
+        led.read(OVERLAY_LOOKUP_READS * base.map.len() as u64);
+        for (&k, &v) in base.map.iter() {
+            let r = match index.get(&v) {
+                Some(&j) => canon[roots[j as usize] as usize],
+                None => v,
+            };
+            table.insert(k, r);
+        }
+        led.write(OVERLAY_ENTRY_WRITES * table.len() as u64);
+        ComponentOverlay { map: table }
+    }
+
+    /// [`ConnQueryHandle::component`] resolved through an overlay — the
+    /// mutated-graph form of a component query. Charges the base query
+    /// plus one overlay lookup ([`OVERLAY_LOOKUP_READS`], free when the
+    /// overlay is empty).
+    pub fn component_in(
+        &self,
+        led: &mut Ledger,
+        overlay: &ComponentOverlay,
+        v: Vertex,
+    ) -> ComponentId {
+        let id = self.component(led, v);
+        overlay.canonical(led, id)
+    }
+
+    /// [`ConnQueryHandle::connected`] under an overlay: two resolved
+    /// component queries and a free comparison.
+    pub fn connected_in(
+        &self,
+        led: &mut Ledger,
+        overlay: &ComponentOverlay,
+        u: Vertex,
+        v: Vertex,
+    ) -> bool {
+        let a = self.component_in(led, overlay, u);
+        let b = self.component_in(led, overlay, v);
+        a == b
+    }
+}
+
+/// Distinct canonical ids reachable from a vertex set under an overlay —
+/// a test/diagnostic helper (uncharged oracle reuse would skew replay
+/// formulas, so this takes its own ledger like any query batch).
+pub fn distinct_components<G: GraphView + Sync>(
+    handle: &ConnQueryHandle<'_, '_, G>,
+    led: &mut Ledger,
+    overlay: &ComponentOverlay,
+    verts: impl IntoIterator<Item = Vertex>,
+) -> usize {
+    let mut seen: FxHashSet<ComponentId> = FxHashSet::default();
+    for v in verts {
+        seen.insert(handle.component_in(led, overlay, v));
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ConnectivityOracle, OracleBuildOpts};
+    use wec_graph::gen::{disjoint_union, path};
+    use wec_graph::{Csr, Priorities};
+
+    fn build<'a>(led: &mut Ledger, g: &'a Csr, pri: &'a Priorities) -> ConnectivityOracle<'a, Csr> {
+        let verts: Vec<Vertex> = (0..g.n() as Vertex).collect();
+        ConnectivityOracle::build(led, g, pri, &verts, 4, 0x5eed, OracleBuildOpts::default())
+    }
+
+    /// Two path components merged by one delta edge: both sides resolve
+    /// to one canonical id afterwards, and the overlay maps exactly the
+    /// losing id.
+    #[test]
+    fn merge_two_components() {
+        let g = disjoint_union(&[&path(8), &path(8)]);
+        let pri = Priorities::identity(g.n());
+        let mut led = Ledger::new(wec_asym::DEFAULT_OMEGA);
+        let oracle = build(&mut led, &g, &pri);
+        let h = oracle.query_handle();
+        assert!(!h.connected(&mut led, 0, 8));
+
+        let mut delta = GraphDelta::new();
+        delta.insert(3, 12);
+        let ov = h.extend_overlay(&mut led, &ComponentOverlay::empty(), &delta);
+        assert_eq!(ov.len(), 1);
+        assert!(h.connected_in(&mut led, &ov, 0, 8));
+        assert!(h.connected_in(&mut led, &ov, 7, 15));
+        // Base answers are untouched.
+        assert!(!h.connected(&mut led, 0, 8));
+        // Every overlay value is a fixed point.
+        for (_, v) in ov.remapped() {
+            assert_eq!(ov.peek(v), v);
+        }
+    }
+
+    /// Composition across batches equals one big batch: same canonical
+    /// answers, and the second overlay's values are still fixed points.
+    #[test]
+    fn composition_matches_one_shot() {
+        let g = disjoint_union(&[&path(6), &path(6), &path(6), &path(6)]);
+        let pri = Priorities::identity(g.n());
+        let mut led = Ledger::new(wec_asym::DEFAULT_OMEGA);
+        let oracle = build(&mut led, &g, &pri);
+        let h = oracle.query_handle();
+
+        let mut d1 = GraphDelta::new();
+        d1.insert(0, 6); // merge components 0 and 1
+        let mut d2 = GraphDelta::new();
+        d2.insert(12, 18); // merge components 2 and 3
+        d2.insert(5, 13); // then bridge the two merged pairs
+
+        let ov1 = h.extend_overlay(&mut led, &ComponentOverlay::empty(), &d1);
+        let ov2 = h.extend_overlay(&mut led, &ov1, &d2);
+
+        let mut big = GraphDelta::new();
+        for &(u, v) in d1.edges().iter().chain(d2.edges()) {
+            big.insert(u, v);
+        }
+        let one = h.extend_overlay(&mut led, &ComponentOverlay::empty(), &big);
+
+        for u in 0..24u32 {
+            for v in 0..24u32 {
+                assert_eq!(
+                    h.connected_in(&mut led, &ov2, u, v),
+                    h.connected_in(&mut led, &one, u, v),
+                    "composition mismatch at ({u}, {v})"
+                );
+            }
+        }
+        assert_eq!(distinct_components(&h, &mut led, &ov2, 0..24), 1);
+        for (_, v) in ov2.remapped() {
+            assert_eq!(ov2.peek(v), v);
+        }
+    }
+
+    /// A delta that merges nothing returns the base overlay unchanged and
+    /// charges no writes.
+    #[test]
+    fn no_op_delta_writes_nothing() {
+        let g = path(16);
+        let pri = Priorities::identity(g.n());
+        let mut build_led = Ledger::new(wec_asym::DEFAULT_OMEGA);
+        let oracle = build(&mut build_led, &g, &pri);
+        let h = oracle.query_handle();
+        let mut led = Ledger::new(wec_asym::DEFAULT_OMEGA);
+        let mut delta = GraphDelta::new();
+        delta.insert(2, 9); // same component already
+        let ov = h.extend_overlay(&mut led, &ComponentOverlay::empty(), &delta);
+        assert!(ov.is_empty());
+        assert_eq!(led.costs().asym_writes, 0);
+        // Empty deltas charge nothing at all.
+        let before = led.costs();
+        let ov2 = h.extend_overlay(&mut led, &ov, &GraphDelta::new());
+        assert!(ov2.is_empty());
+        assert_eq!(led.costs(), before);
+    }
+
+    /// The stage charge is structural: parallel and sequential ledgers
+    /// agree bit-for-bit.
+    #[test]
+    fn extend_overlay_costs_are_thread_invariant() {
+        let g = disjoint_union(&[&path(10), &path(10), &path(10)]);
+        let pri = Priorities::identity(g.n());
+        let mut delta = GraphDelta::new();
+        for i in 0..40u32 {
+            delta.insert(i % 30, (i * 7 + 3) % 30);
+        }
+
+        let run = |parallel: bool| {
+            let mut build_led = Ledger::new(wec_asym::DEFAULT_OMEGA);
+            let oracle = build(&mut build_led, &g, &pri);
+            let h = oracle.query_handle();
+            let mut led = if parallel {
+                Ledger::new(wec_asym::DEFAULT_OMEGA)
+            } else {
+                Ledger::sequential(wec_asym::DEFAULT_OMEGA)
+            };
+            let ov = h.extend_overlay(&mut led, &ComponentOverlay::empty(), &delta);
+            (led.costs(), led.depth(), ov.len())
+        };
+        let (pc, pd, pl) = run(true);
+        let (sc, sd, sl) = run(false);
+        assert_eq!(pc, sc);
+        assert_eq!(pd, sd);
+        assert_eq!(pl, sl);
+    }
+}

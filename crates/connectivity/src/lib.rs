@@ -15,10 +15,12 @@
 //!   connectivity over the *implicit* clusters graph of an implicit
 //!   √ω-decomposition and storing one label per **center**.
 
+pub mod delta;
 pub mod oracle;
 pub mod par;
 pub mod spanning;
 
+pub use delta::{distinct_components, ComponentOverlay, GraphDelta, DELTA_SAMPLE_GRAIN};
 pub use oracle::{ComponentId, ConnQueryHandle, ConnectivityOracle, OracleBuildOpts};
 pub use par::{connectivity_csr, connectivity_general, ConnResult};
 pub use spanning::root_forest;

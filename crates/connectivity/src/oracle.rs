@@ -29,7 +29,13 @@ const CLUSTER_LIST_EXEC: Grain = Grain::SKEWED;
 
 /// A component identity returned by oracle queries. Two vertices are
 /// connected iff their `ComponentId`s are equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived total order (`Labeled` before `Implicit`, then by payload)
+/// is a documented contract: [`ComponentOverlay`](crate::ComponentOverlay)
+/// picks the minimum id of a merged class as its canonical representative,
+/// so golden cost files and replay tests depend on this ordering staying
+/// put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ComponentId {
     /// A component containing at least one stored center.
     Labeled(u32),

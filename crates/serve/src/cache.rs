@@ -13,6 +13,9 @@ use wec_biconnectivity::BiconnQueryKey;
 use wec_connectivity::ComponentId;
 use wec_graph::Vertex;
 
+#[cfg(doc)]
+use wec_asym::{INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS};
+
 use crate::streaming::{
     CacheStats, Eviction, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS,
 };
@@ -57,6 +60,10 @@ pub(crate) struct ShardCache {
     slots: Vec<Slot>,
     hand: usize,
     pub(crate) tally: CacheTally,
+    /// Entries removed by epoch-install invalidation sweeps (cumulative;
+    /// folded into the retired aggregate on quarantine like every other
+    /// counter).
+    invalidations: u64,
 }
 
 impl ShardCache {
@@ -139,6 +146,43 @@ impl ShardCache {
         };
     }
 
+    /// Epoch-install invalidation sweep: scan every resident slot and
+    /// remove exactly the component memos whose cached [`ComponentId`]
+    /// `stale` reports no longer canonical under the incoming overlay.
+    /// Predicate entries are never removed — they cache *base-graph*
+    /// biconnectivity semantics, which mutations do not change (the
+    /// documented limitation of the insertion-only mutation model).
+    ///
+    /// Survivors keep their second-chance bits and their relative
+    /// residency order; the slot store is compacted, the index rebuilt,
+    /// and the CLOCK hand reset to 0 — all deterministic, so post-install
+    /// hit/miss/eviction patterns remain a pure function of the
+    /// submission/mutation sequence.
+    ///
+    /// Returns `(swept, removed)`: slots scanned and entries removed. The
+    /// caller prices the sweep ([`INVALIDATE_SCAN_OPS`] per swept slot,
+    /// [`INVALIDATE_ENTRY_WRITES`] per removed entry) on its own ledger —
+    /// not through the tally, because the sweep belongs to the mutation's
+    /// charge sequence, not to any dispatch.
+    pub(crate) fn invalidate_stale(&mut self, stale: impl Fn(ComponentId) -> bool) -> (u64, u64) {
+        let swept = self.slots.len() as u64;
+        let before = self.slots.len();
+        self.slots.retain(|s| match s.val {
+            CacheVal::Comp(id) => !stale(id),
+            CacheVal::Pred(_) => true,
+        });
+        let removed = (before - self.slots.len()) as u64;
+        if removed > 0 {
+            self.index.clear();
+            for (i, s) in self.slots.iter().enumerate() {
+                self.index.insert(s.key, i);
+            }
+            self.hand = 0;
+            self.invalidations += removed;
+        }
+        (swept, removed)
+    }
+
     /// Quarantine reset: drop every resident entry, any pending deferred
     /// charges, and the CLOCK hand, returning the cumulative counters the
     /// cache had accrued so the owner can fold them into a retired
@@ -158,6 +202,7 @@ impl ShardCache {
             misses: self.tally.misses(),
             inserts: self.tally.inserts(),
             evictions: self.tally.evictions(),
+            invalidations: self.invalidations,
             entries: self.len() as u64,
         }
     }
@@ -258,6 +303,38 @@ mod tests {
             "quarantined entries are gone"
         );
         assert_eq!(c.stats().misses, 1, "counters restart from zero");
+    }
+
+    #[test]
+    fn invalidate_stale_removes_exactly_stale_comp_entries() {
+        let mut c = ShardCache::default();
+        for v in 0..3u32 {
+            c.probe(k(v), Eviction::Clock);
+            c.fill(
+                k(v),
+                CacheVal::Comp(ComponentId::Labeled(v)),
+                8,
+                Eviction::Clock,
+            );
+        }
+        let pkey = CacheKey::Pred(BiconnQueryKey::two_edge_connected(1, 2));
+        c.probe(pkey, Eviction::Clock);
+        c.fill(pkey, CacheVal::Pred(true), 8, Eviction::Clock);
+        let (swept, removed) = c.invalidate_stale(|id| id == ComponentId::Labeled(1));
+        assert_eq!((swept, removed), (4, 1), "scan all slots, remove one");
+        assert!(c.probe(k(1), Eviction::Clock).is_none(), "stale memo gone");
+        assert!(c.probe(k(0), Eviction::Clock).is_some());
+        assert!(c.probe(k(2), Eviction::Clock).is_some());
+        assert!(
+            c.probe(pkey, Eviction::Clock).is_some(),
+            "predicate entries keep base-graph semantics and survive"
+        );
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.len(), 3);
+        // A sweep with nothing stale is charge- and state-free.
+        let (swept2, removed2) = c.invalidate_stale(|_| false);
+        assert_eq!((swept2, removed2), (3, 0));
+        assert_eq!(c.stats().invalidations, 1);
     }
 
     #[test]

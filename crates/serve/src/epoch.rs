@@ -1,0 +1,219 @@
+//! Epoch-snapshot state for serving through mutations.
+//!
+//! The streaming server answers every query against a *frozen* snapshot
+//! of the mutated graph's connectivity: a
+//! [`ComponentOverlay`] (epoch 0 is
+//! the identity overlay — the unmutated base graph). Mutations are
+//! double-buffered: a staged overlay for epoch `N+1` is built (and
+//! charged) while epoch `N` keeps serving, then installed with a single
+//! charged pointer swap plus the priced cache-invalidation sweep. No
+//! query ever waits for a build or an install.
+//!
+//! Queries are tagged with the epoch current at *submission* time; the
+//! reorder queue can therefore span an install. Entries from the current
+//! epoch serve through the shard caches as usual. *Stragglers* — entries
+//! submitted under an older epoch that dispatch after an install — are
+//! answered uncached through their own epoch's retained overlay, so a
+//! ticket always resolves with the answer of the graph version it was
+//! submitted against. An old overlay is retired once delivery has passed
+//! its last ticket (`EpochTracker::prune`).
+//!
+//! This module owns the bookkeeping (`EpochTracker`) and the
+//! externally-visible counters ([`EpochStats`]); the charged entry points
+//! (`stage_delta` / `install_staged` / `apply_delta`) live on
+//! [`StreamingServer`](crate::StreamingServer), which also documents the
+//! install-time invalidation contract.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wec_connectivity::ComponentOverlay;
+
+/// Cumulative counters of everything the epoch machinery did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Mutation batches staged (`stage_delta` calls with a non-empty
+    /// delta composition).
+    pub staged_batches: u64,
+    /// Delta edges sampled across all staged batches.
+    pub staged_edges: u64,
+    /// Staged overlays installed (epoch advances).
+    pub installs: u64,
+    /// Cache entries removed by install-time invalidation sweeps.
+    pub invalidated_entries: u64,
+    /// Resident cache slots scanned by invalidation sweeps.
+    pub invalidation_swept_slots: u64,
+    /// Queries answered through a retained older epoch's overlay (in
+    /// flight across an install, served uncached).
+    pub straggler_answers: u64,
+    /// Undelivered tickets outstanding at install time, summed over
+    /// installs — the in-flight work that kept serving instead of
+    /// blocking on the epoch swap.
+    pub in_flight_at_install: u64,
+    /// Old epoch overlays retired after delivery passed their last
+    /// ticket.
+    pub retired_overlays: u64,
+}
+
+/// Double-buffered epoch state: the current overlay, retained older
+/// overlays still referenced by in-flight tickets, and the staged
+/// next-epoch overlay. Plain bookkeeping — every model charge is made by
+/// the `StreamingServer` methods driving it.
+#[derive(Debug)]
+pub(crate) struct EpochTracker {
+    current: u64,
+    /// Live overlays by epoch: the current one plus every older epoch
+    /// with undelivered tickets. `Arc` so dispatch closures can resolve
+    /// stragglers without cloning tables.
+    overlays: BTreeMap<u64, Arc<ComponentOverlay>>,
+    staged: Option<Arc<ComponentOverlay>>,
+    /// For each retired-from epoch `e`: the first ticket *not* submitted
+    /// under `e` (the install boundary). Once delivery reaches it, `e`'s
+    /// overlay is unreachable and can be dropped.
+    ends: BTreeMap<u64, u64>,
+    pub(crate) stats: EpochStats,
+}
+
+impl Default for EpochTracker {
+    fn default() -> Self {
+        let mut overlays = BTreeMap::new();
+        overlays.insert(0, Arc::new(ComponentOverlay::empty()));
+        EpochTracker {
+            current: 0,
+            overlays,
+            staged: None,
+            ends: BTreeMap::new(),
+            stats: EpochStats::default(),
+        }
+    }
+}
+
+impl EpochTracker {
+    /// The serving epoch.
+    pub(crate) fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The current epoch's overlay.
+    pub(crate) fn current_overlay(&self) -> &ComponentOverlay {
+        &self.overlays[&self.current]
+    }
+
+    /// The overlay a given live epoch serves through. Panics if the epoch
+    /// was already retired — the tracker only retires epochs delivery has
+    /// fully passed, so a dispatching entry can never observe this.
+    pub(crate) fn overlay_for(&self, epoch: u64) -> &ComponentOverlay {
+        self.overlays
+            .get(&epoch)
+            .expect("live overlay for an in-flight epoch")
+    }
+
+    /// Shared handle to a live epoch's overlay (for the degraded recovery
+    /// path, which needs it while the server is mutably borrowed).
+    pub(crate) fn overlay_arc(&self, epoch: u64) -> Arc<ComponentOverlay> {
+        Arc::clone(
+            self.overlays
+                .get(&epoch)
+                .expect("live overlay for an in-flight epoch"),
+        )
+    }
+
+    /// The base the next `stage_delta` composes onto: the staged overlay
+    /// when one exists (so several batches can accumulate into one
+    /// epoch), else the current overlay.
+    pub(crate) fn stage_base(&self) -> Arc<ComponentOverlay> {
+        match &self.staged {
+            Some(s) => Arc::clone(s),
+            None => Arc::clone(&self.overlays[&self.current]),
+        }
+    }
+
+    /// Record a freshly built next-epoch overlay.
+    pub(crate) fn stage(&mut self, overlay: Arc<ComponentOverlay>, delta_edges: u64) {
+        self.staged = Some(overlay);
+        self.stats.staged_batches += 1;
+        self.stats.staged_edges += delta_edges;
+    }
+
+    /// Whether a staged overlay is waiting to be installed.
+    pub(crate) fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Take the staged overlay for installation.
+    pub(crate) fn take_staged(&mut self) -> Option<Arc<ComponentOverlay>> {
+        self.staged.take()
+    }
+
+    /// Advance to the next epoch: the previous epoch's overlay is
+    /// retained for its in-flight tickets (every ticket below
+    /// `next_ticket`), the new overlay becomes current. Returns the new
+    /// epoch number.
+    pub(crate) fn install(
+        &mut self,
+        overlay: Arc<ComponentOverlay>,
+        next_ticket: u64,
+        in_flight: u64,
+    ) -> u64 {
+        self.ends.insert(self.current, next_ticket);
+        self.current += 1;
+        self.overlays.insert(self.current, overlay);
+        self.stats.installs += 1;
+        self.stats.in_flight_at_install += in_flight;
+        self.current
+    }
+
+    /// Drop retained overlays of epochs delivery has fully passed:
+    /// epoch `e` retires once `next_deliver >= ends[e]`.
+    pub(crate) fn prune(&mut self, next_deliver: u64) {
+        while let Some((&e, &end)) = self.ends.first_key_value() {
+            if next_deliver < end {
+                break;
+            }
+            self.ends.remove(&e);
+            self.overlays.remove(&e);
+            self.stats.retired_overlays += 1;
+        }
+    }
+
+    /// Live overlays (current plus retained older epochs), for tests and
+    /// diagnostics.
+    pub(crate) fn live_epochs(&self) -> Vec<u64> {
+        self.overlays.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retirement_follows_delivery() {
+        let mut t = EpochTracker::default();
+        assert_eq!(t.current(), 0);
+        // Install epoch 1 at ticket 10 with 4 tickets in flight.
+        t.install(Arc::new(ComponentOverlay::empty()), 10, 4);
+        assert_eq!(t.current(), 1);
+        assert_eq!(t.live_epochs(), vec![0, 1]);
+        // Delivery at 9: epoch 0 still has an in-flight ticket.
+        t.prune(9);
+        assert_eq!(t.live_epochs(), vec![0, 1]);
+        // Delivery reaches the boundary: epoch 0 retires.
+        t.prune(10);
+        assert_eq!(t.live_epochs(), vec![1]);
+        assert_eq!(t.stats.retired_overlays, 1);
+    }
+
+    #[test]
+    fn staging_composes_onto_staged() {
+        let mut t = EpochTracker::default();
+        assert!(!t.has_staged());
+        let first = Arc::new(ComponentOverlay::empty());
+        t.stage(Arc::clone(&first), 3);
+        assert!(t.has_staged());
+        // The next stage builds on the staged overlay, not the current.
+        assert!(Arc::ptr_eq(&t.stage_base(), &first));
+        assert_eq!(t.stats.staged_batches, 1);
+        assert_eq!(t.stats.staged_edges, 3);
+    }
+}

@@ -8,10 +8,17 @@
 //! every shard concurrently against shared read-only oracle state, and
 //! merges the accounting deterministically.
 //!
-//! [`ShardedServer`] is that front end. It wraps the copyable query handles
-//! of [`ConnectivityOracle`](wec_connectivity::ConnectivityOracle) and
-//! (optionally) [`BiconnectivityOracle`](wec_biconnectivity::BiconnectivityOracle)
-//! and serves [`Query`] batches, returning [`Answer`]s **in input order**.
+//! [`ShardedServer`] is that front end. It is generic over the
+//! [`OracleHandle`] trait — one handle per query family: connectivity
+//! (`Key = Vertex`, `Answer = ComponentId`) and biconnectivity-class
+//! predicates (`Key = BiconnQueryKey`, `Answer = bool`) — and serves
+//! [`Query`] batches, returning [`Answer`]s **in input order**. The two
+//! paper oracles' handles ([`ConnQueryHandle`], [`BiconnQueryHandle`])
+//! implement the trait; a server without a biconnectivity oracle carries
+//! the vacant [`NoBiconn`] handle (the default type parameter), and a
+//! future oracle family drops in by implementing [`OracleHandle`] without
+//! touching dispatch. [`FullServer`] / [`FullStreamingServer`] name the
+//! fully-equipped conn+biconn configuration.
 //!
 //! ## The shard/merge cost contract
 //!
@@ -57,6 +64,21 @@
 //! routing/hit/miss/eviction cost contract is documented in the
 //! [`streaming`] module docs.
 //!
+//! ## Mutations: epoch-snapshot serving
+//!
+//! The graph can mutate *while serving*: a
+//! [`GraphDelta`] of batched edge
+//! insertions is folded (ConnectIt-style sample-then-finish, every
+//! union/find charged) into a frozen
+//! [`ComponentOverlay`] — the next
+//! **epoch** — while the current epoch keeps answering. Installing the
+//! staged epoch is one charged pointer swap plus a priced
+//! cache-invalidation sweep that poisons exactly the component memos
+//! whose canonical id changed. Queries in flight across an install
+//! resolve with their own epoch's answers. See the [`streaming`] and
+//! [`epoch`] module docs for the lifecycle and the exact mutation cost
+//! formulas.
+//!
 //! ## Robustness
 //!
 //! The streaming front end survives faults instead of crashing on them:
@@ -71,20 +93,36 @@
 //! fault model.
 
 mod cache;
+pub mod epoch;
 pub mod fault;
+pub mod handle;
 pub mod streaming;
 
+pub use epoch::EpochStats;
 pub use fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
+pub use handle::{DeltaOracle, NoBiconn, OracleHandle};
 pub use streaming::{
-    query_work_estimate, AdmissionPolicy, CacheStats, Eviction, Overflow, Routing, StreamingServer,
-    Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS,
-    ROUTE_HASH_OPS,
+    query_work_estimate, AdmissionPolicy, AdmissionPolicyBuilder, CacheStats, Eviction, Overflow,
+    Routing, StreamingServer, Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS,
+    CLOCK_TOUCH_OPS, ROUTE_HASH_OPS,
 };
+// The mutation-path charge constants, re-exported beside the serving ones
+// so replay tests and benches price epochs from one import surface.
+pub use wec_asym::{EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS};
+pub use wec_connectivity::{ComponentOverlay, GraphDelta};
 
 use wec_asym::Ledger;
-use wec_biconnectivity::BiconnQueryHandle;
+use wec_biconnectivity::{BiconnQueryHandle, BiconnQueryKey};
 use wec_connectivity::{ComponentId, ConnQueryHandle};
-use wec_graph::{GraphView, Vertex};
+use wec_graph::Vertex;
+
+/// The fully-equipped sharded server over the two paper oracles.
+pub type FullServer<'o, 'g, G> =
+    ShardedServer<ConnQueryHandle<'o, 'g, G>, BiconnQueryHandle<'o, 'g, G>>;
+
+/// The fully-equipped streaming front end over the two paper oracles.
+pub type FullStreamingServer<'o, 'g, G> =
+    StreamingServer<ConnQueryHandle<'o, 'g, G>, BiconnQueryHandle<'o, 'g, G>>;
 
 /// Asymmetric-memory words charged for reading one [`Query`] out of a
 /// batch: one word packs the discriminant with the first vertex, the
@@ -133,7 +171,7 @@ impl Answer {
 /// The streaming server never loses a ticket: a query that cannot be
 /// answered is *delivered*, in submission order, as an `Err` of this type.
 /// Only [`StreamingServer::submit`](streaming::StreamingServer::submit)
-/// under [`Overflow::Shed`](streaming::Overflow::Shed) can fail before a
+/// under [`Overflow::Shed`] can fail before a
 /// ticket is issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServeError {
@@ -144,7 +182,7 @@ pub enum ServeError {
     UnsupportedQuery(Query),
     /// The submission was shed: the queue sits at the policy's
     /// `max_queue` bound and the overflow policy is
-    /// [`Overflow::Shed`](streaming::Overflow::Shed). No ticket was
+    /// [`Overflow::Shed`]. No ticket was
     /// consumed; resubmitting after draining is safe.
     Overloaded {
         /// Queue depth at rejection time.
@@ -224,28 +262,46 @@ pub fn shard_chunks(n: usize, shards: usize) -> usize {
 /// assert_eq!(batch_led.costs().sym_ops, expect_ops);
 /// assert_eq!(batch_led.costs().asym_writes, 0, "queries never write");
 /// ```
-pub struct ShardedServer<'o, 'g, G: GraphView> {
-    conn: ConnQueryHandle<'o, 'g, G>,
-    bicon: Option<BiconnQueryHandle<'o, 'g, G>>,
+pub struct ShardedServer<C, B = NoBiconn> {
+    conn: C,
+    bicon: B,
     shards: usize,
 }
 
-impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
+impl<C> ShardedServer<C, NoBiconn>
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+{
     /// A server answering connectivity queries over `conn`, fanning each
-    /// batch out over `shards` shards (at least 1).
-    pub fn new(conn: ConnQueryHandle<'o, 'g, G>, shards: usize) -> Self {
+    /// batch out over `shards` shards (at least 1). Predicate queries are
+    /// unsupported until [`ShardedServer::with_biconnectivity`] attaches
+    /// a handle for them.
+    pub fn new(conn: C, shards: usize) -> Self {
         ShardedServer {
             conn,
-            bicon: None,
+            bicon: NoBiconn,
             shards: shards.max(1),
         }
     }
+}
 
+impl<C, B> ShardedServer<C, B>
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
     /// Additionally serve [`Query::TwoEdgeConnected`] / [`Query::Biconnected`]
-    /// from a biconnectivity oracle over the same graph.
-    pub fn with_biconnectivity(mut self, bicon: BiconnQueryHandle<'o, 'g, G>) -> Self {
-        self.bicon = Some(bicon);
-        self
+    /// from a predicate oracle over the same graph. Type-state: the
+    /// predicate handle type changes, so the old server value is consumed.
+    pub fn with_biconnectivity<B2>(self, bicon: B2) -> ShardedServer<C, B2>
+    where
+        B2: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+    {
+        ShardedServer {
+            conn: self.conn,
+            bicon,
+            shards: self.shards,
+        }
     }
 
     /// The configured shard count.
@@ -254,34 +310,44 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
     }
 
     /// The connectivity query handle this server dispatches to.
-    pub fn conn_handle(&self) -> ConnQueryHandle<'o, 'g, G> {
+    pub fn conn_handle(&self) -> C {
         self.conn
     }
 
-    /// The biconnectivity query handle, when one is attached.
-    pub fn bicon_handle(&self) -> Option<BiconnQueryHandle<'o, 'g, G>> {
-        self.bicon
+    /// The predicate query handle, when a real one is attached
+    /// ([`OracleHandle::attached`]; `None` for [`NoBiconn`]).
+    pub fn bicon_handle(&self) -> Option<B> {
+        self.bicon.attached().then_some(self.bicon)
     }
 
     /// Answer one query exactly as a shard worker would, minus the batch
     /// input-scan read ([`QUERY_WORDS`]) and scheduler bookkeeping.
+    ///
+    /// Predicate keys are built with the **caller's** endpoint order (raw
+    /// variants, not the canonicalizing constructors), so the charge
+    /// sequence matches a direct oracle call with the same arguments —
+    /// canonical-order answering belongs to the cache-miss path.
     ///
     /// # Panics
     /// On 2-edge-connectivity / biconnectivity queries when the server was
     /// built without [`ShardedServer::with_biconnectivity`].
     pub fn answer_one(&self, led: &mut Ledger, q: Query) -> Answer {
         match q {
-            Query::Connected(u, v) => Answer::Connected(self.conn.connected(led, u, v)),
-            Query::Component(v) => Answer::Component(self.conn.component(led, v)),
+            Query::Connected(u, v) => {
+                // Two component resolutions; the comparison is free, as in
+                // ConnQueryHandle::component_pair.
+                let a = self.conn.answer_key(led, u);
+                let b = self.conn.answer_key(led, v);
+                Answer::Connected(a == b)
+            }
+            Query::Component(v) => Answer::Component(self.conn.answer_key(led, v)),
             Query::TwoEdgeConnected(u, v) => Answer::TwoEdgeConnected(
                 self.bicon
-                    .expect("server was built without a biconnectivity oracle")
-                    .two_edge_connected(led, u, v),
+                    .answer_key(led, BiconnQueryKey::TwoEdgeConnected(u, v)),
             ),
             Query::Biconnected(u, v) => Answer::Biconnected(
                 self.bicon
-                    .expect("server was built without a biconnectivity oracle")
-                    .biconnected(led, u, v),
+                    .answer_key(led, BiconnQueryKey::Biconnected(u, v)),
             ),
         }
     }
@@ -294,15 +360,53 @@ impl<'o, 'g, G: GraphView> ShardedServer<'o, 'g, G> {
     /// charge identically to `answer_one`.
     pub fn try_answer_one(&self, led: &mut Ledger, q: Query) -> ServeResult {
         match q {
-            Query::Connected(..) | Query::Component(_) => Ok(self.answer_one(led, q)),
-            Query::TwoEdgeConnected(u, v) => match self.bicon {
-                Some(h) => Ok(Answer::TwoEdgeConnected(h.two_edge_connected(led, u, v))),
-                None => Err(ServeError::UnsupportedQuery(q)),
-            },
-            Query::Biconnected(u, v) => match self.bicon {
-                Some(h) => Ok(Answer::Biconnected(h.biconnected(led, u, v))),
-                None => Err(ServeError::UnsupportedQuery(q)),
-            },
+            Query::TwoEdgeConnected(..) | Query::Biconnected(..) if !self.bicon.attached() => {
+                Err(ServeError::UnsupportedQuery(q))
+            }
+            _ => Ok(self.answer_one(led, q)),
+        }
+    }
+
+    /// [`ShardedServer::answer_one`] against an epoch snapshot:
+    /// connectivity answers resolve through `overlay` (charging one
+    /// [`wec_asym::OVERLAY_LOOKUP_READS`] per resolution when the overlay
+    /// is non-empty; the identity overlay charges nothing, keeping the
+    /// read-only path bit-identical). Predicate queries answer **base
+    /// graph** semantics unchanged — the insertion-only mutation model
+    /// does not re-derive biconnectivity, a documented limitation.
+    ///
+    /// # Panics
+    /// As [`ShardedServer::answer_one`].
+    pub fn answer_one_in(&self, led: &mut Ledger, overlay: &ComponentOverlay, q: Query) -> Answer {
+        match q {
+            Query::Connected(u, v) => {
+                let a = self.conn.answer_key(led, u);
+                let a = overlay.canonical(led, a);
+                let b = self.conn.answer_key(led, v);
+                let b = overlay.canonical(led, b);
+                Answer::Connected(a == b)
+            }
+            Query::Component(v) => {
+                let id = self.conn.answer_key(led, v);
+                Answer::Component(overlay.canonical(led, id))
+            }
+            Query::TwoEdgeConnected(..) | Query::Biconnected(..) => self.answer_one(led, q),
+        }
+    }
+
+    /// [`ShardedServer::try_answer_one`] against an epoch snapshot; see
+    /// [`ShardedServer::answer_one_in`] for the overlay semantics.
+    pub fn try_answer_one_in(
+        &self,
+        led: &mut Ledger,
+        overlay: &ComponentOverlay,
+        q: Query,
+    ) -> ServeResult {
+        match q {
+            Query::TwoEdgeConnected(..) | Query::Biconnected(..) if !self.bicon.attached() => {
+                Err(ServeError::UnsupportedQuery(q))
+            }
+            _ => Ok(self.answer_one_in(led, overlay, q)),
         }
     }
 

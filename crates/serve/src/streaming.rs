@@ -11,7 +11,9 @@
 //!
 //! ## Admission
 //!
-//! [`AdmissionPolicy`] has two batching knobs:
+//! [`AdmissionPolicy`] is built with [`AdmissionPolicy::builder`] (the
+//! legacy `new`/`with_*` constructors survive as deprecated shims over
+//! the builder). It has two batching knobs:
 //!
 //! * `max_batch` — the largest micro-batch one dispatch may carry;
 //! * `max_queue` — the queue depth that triggers automatic dispatch: when a
@@ -214,18 +216,55 @@
 //! as PR-5 (pinned by `costs_golden.json`), and injected stalls burn
 //! wall-clock time only, never model cost. Everything the recovery
 //! machinery does is counted in [`crate::RobustnessStats`].
+//!
+//! ## Epochs: serving through batched insertions
+//!
+//! PR-7 adds the mutation path: batched edge insertions
+//! ([`wec_connectivity::GraphDelta`]) fold into frozen epoch snapshots
+//! ([`wec_connectivity::ComponentOverlay`]) that install without ever
+//! blocking a query. Every submission is tagged with the epoch current at
+//! submit time; [`StreamingServer::stage_delta`] builds the next epoch's
+//! overlay off to the side (queries keep serving — and caching — against
+//! the current snapshot), and [`StreamingServer::install_staged`] swaps
+//! it in for one [`wec_asym::EPOCH_INSTALL_OPS`] operation plus the
+//! priced cache-invalidation sweep documented on that method: per shard,
+//! `swept ·` [`wec_asym::INVALIDATE_SCAN_OPS`] operations over the
+//! resident slots and `removed ·` [`wec_asym::INVALIDATE_ENTRY_WRITES`]
+//! asymmetric writes for exactly the connectivity memos whose cached
+//! [`ComponentId`] the new overlay remaps — predicate entries and
+//! untouched components survive, so invalidation is `O(changed)` in
+//! asymmetric writes, never `O(cache)`.
+//!
+//! After an install, connectivity misses resolve the oracle's base id
+//! through the current overlay (one [`wec_asym::OVERLAY_LOOKUP_READS`]
+//! read per resolution on a non-empty overlay) and cache the *canonical*
+//! id; at epoch 0 the identity overlay charges nothing, so a read-only
+//! workload's charge sequence is bit-identical to the pre-epoch servers
+//! (pinned by `costs_golden.json`). Entries still in flight across an
+//! install dispatch as *stragglers*: answered uncached through their own
+//! epoch's retained overlay (retired once delivery passes the install
+//! boundary), so a ticket always resolves against the graph version it
+//! was submitted to. Biconnectivity-class predicates keep **base graph**
+//! semantics — the insertion-only model does not re-derive them — which
+//! is a documented limitation of the mutation API. Everything the epoch
+//! machinery does is counted in [`crate::EpochStats`], and
+//! `tests/epochs.rs` pins both the semantics and the exact charges.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use wec_asym::{Ledger, LedgerScope};
-use wec_biconnectivity::{BiconnQueryHandle, BiconnQueryKey};
-use wec_connectivity::ComponentId;
-use wec_graph::{GraphView, Vertex};
+use wec_asym::{
+    Ledger, LedgerScope, EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS,
+};
+use wec_biconnectivity::BiconnQueryKey;
+use wec_connectivity::{ComponentId, ComponentOverlay, GraphDelta};
+use wec_graph::Vertex;
 
 use crate::cache::{CacheKey, CacheVal, ShardCache};
+use crate::epoch::{EpochStats, EpochTracker};
 use crate::fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
+use crate::handle::{DeltaOracle, NoBiconn, OracleHandle};
 use crate::{Answer, Query, ServeError, ServeResult, ShardedServer, QUERY_WORDS};
 
 /// Asymmetric reads charged per result-cache probe (hash the key, inspect
@@ -330,10 +369,13 @@ pub fn query_work_estimate(q: Query, omega: u64) -> u64 {
 /// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
 /// // Two-slot caches under CLOCK: a shifting hot set keeps hitting
 /// // because stale entries are evicted instead of squatting forever.
-/// let policy = AdmissionPolicy::new(8, 32)
-///     .with_cache_capacity(2)
-///     .with_routing(Routing::Affinity { skew_factor: 4 })
-///     .with_eviction(Eviction::Clock);
+/// let policy = AdmissionPolicy::builder()
+///     .max_batch(8)
+///     .max_queue(32)
+///     .cache_capacity(2)
+///     .routing(Routing::Affinity { skew_factor: 4 })
+///     .eviction(Eviction::Clock)
+///     .build();
 /// assert_eq!(policy.eviction, Eviction::Clock);
 ///
 /// let sharded = ShardedServer::new(oracle.query_handle(), 2);
@@ -377,35 +419,49 @@ pub struct AdmissionPolicy {
 }
 
 impl AdmissionPolicy {
-    /// A policy with the given batching knobs (clamped to at least 1) and
-    /// the default cache capacity, routing, and eviction policy.
-    pub fn new(max_batch: usize, max_queue: usize) -> Self {
-        AdmissionPolicy {
-            max_batch: max_batch.max(1),
-            max_queue: max_queue.max(1),
-            ..Default::default()
+    /// Start building a policy from the defaults; finish with
+    /// [`AdmissionPolicyBuilder::build`]. This is the one construction
+    /// surface — every knob is a builder method of the same name as the
+    /// field it sets.
+    pub fn builder() -> AdmissionPolicyBuilder {
+        AdmissionPolicyBuilder {
+            policy: AdmissionPolicy::default(),
         }
     }
 
+    /// A policy with the given batching knobs (clamped to at least 1) and
+    /// the default cache capacity, routing, and eviction policy.
+    #[deprecated(note = "use AdmissionPolicy::builder().max_batch(..).max_queue(..).build()")]
+    pub fn new(max_batch: usize, max_queue: usize) -> Self {
+        AdmissionPolicy::builder()
+            .max_batch(max_batch)
+            .max_queue(max_queue)
+            .build()
+    }
+
     /// The same policy with a per-shard cache budget (0 disables caching).
+    #[deprecated(note = "use AdmissionPolicyBuilder::cache_capacity")]
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
         self
     }
 
     /// The same policy with the given shard [`Routing`].
+    #[deprecated(note = "use AdmissionPolicyBuilder::routing")]
     pub fn with_routing(mut self, routing: Routing) -> Self {
         self.routing = routing;
         self
     }
 
     /// The same policy with the given [`Eviction`] policy.
+    #[deprecated(note = "use AdmissionPolicyBuilder::eviction")]
     pub fn with_eviction(mut self, eviction: Eviction) -> Self {
         self.eviction = eviction;
         self
     }
 
     /// The same policy with the given [`Overflow`] behaviour.
+    #[deprecated(note = "use AdmissionPolicyBuilder::overflow")]
     pub fn with_overflow(mut self, overflow: Overflow) -> Self {
         self.overflow = overflow;
         self
@@ -413,9 +469,83 @@ impl AdmissionPolicy {
 
     /// The same policy with a per-batch estimated-work budget (0
     /// disables).
+    #[deprecated(note = "use AdmissionPolicyBuilder::op_budget")]
     pub fn with_op_budget(mut self, op_budget: u64) -> Self {
         self.op_budget = op_budget;
         self
+    }
+}
+
+/// Builder for [`AdmissionPolicy`] ([`AdmissionPolicy::builder`]): starts
+/// from [`AdmissionPolicy::default`], each method sets the knob of the
+/// same name, [`AdmissionPolicyBuilder::build`] returns the finished
+/// policy. Clamping (batching knobs at least 1) happens in the setters,
+/// so a built policy is always valid.
+///
+/// ```
+/// use wec_serve::{AdmissionPolicy, Eviction, Overflow};
+///
+/// let p = AdmissionPolicy::builder()
+///     .max_batch(16)
+///     .cache_capacity(64)
+///     .overflow(Overflow::Shed)
+///     .build();
+/// assert_eq!((p.max_batch, p.cache_capacity), (16, 64));
+/// assert_eq!(p.eviction, Eviction::Clock, "untouched knobs keep defaults");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicyBuilder {
+    policy: AdmissionPolicy,
+}
+
+impl AdmissionPolicyBuilder {
+    /// Largest micro-batch a single dispatch may carry (clamped to at
+    /// least 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.policy.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Queue depth that triggers automatic dispatch on submit (clamped to
+    /// at least 1).
+    pub fn max_queue(mut self, max_queue: usize) -> Self {
+        self.policy.max_queue = max_queue.max(1);
+        self
+    }
+
+    /// Per-shard result-cache entry budget (0 disables caching).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.policy.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// How queries map onto shards.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.policy.routing = routing;
+        self
+    }
+
+    /// Full-cache replacement policy.
+    pub fn eviction(mut self, eviction: Eviction) -> Self {
+        self.policy.eviction = eviction;
+        self
+    }
+
+    /// What `submit` does at the `max_queue` bound.
+    pub fn overflow(mut self, overflow: Overflow) -> Self {
+        self.policy.overflow = overflow;
+        self
+    }
+
+    /// Per-micro-batch budget of estimated model work (0 disables).
+    pub fn op_budget(mut self, op_budget: u64) -> Self {
+        self.policy.op_budget = op_budget;
+        self
+    }
+
+    /// The finished policy.
+    pub fn build(self) -> AdmissionPolicy {
+        self.policy
     }
 }
 
@@ -459,6 +589,10 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Entries evicted by the CLOCK hand (0 under fill-until-full).
     pub evictions: u64,
+    /// Entries removed by epoch-install invalidation sweeps (connectivity
+    /// memos whose cached `ComponentId` the new overlay remaps; see
+    /// [`StreamingServer::install_staged`]).
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: u64,
 }
@@ -491,7 +625,8 @@ impl CacheStats {
 /// # let oracle = ConnectivityOracle::build(
 /// #     &mut led, &g, &pri, &verts, 4, 1, OracleBuildOpts::default());
 /// let sharded = ShardedServer::new(oracle.query_handle(), 2);
-/// let mut srv = StreamingServer::new(sharded, AdmissionPolicy::new(8, 32));
+/// let policy = AdmissionPolicy::builder().max_batch(8).max_queue(32).build();
+/// let mut srv = StreamingServer::new(sharded, policy);
 ///
 /// let mut qled = Ledger::new(16);
 /// let t0 = srv.submit(&mut qled, Query::Connected(0, 35)).unwrap();
@@ -501,11 +636,12 @@ impl CacheStats {
 /// let (second, _) = srv.try_next().unwrap();
 /// assert_eq!((first, second), (t0, t1), "submission order");
 /// ```
-pub struct StreamingServer<'o, 'g, G: GraphView> {
-    server: ShardedServer<'o, 'g, G>,
+pub struct StreamingServer<C, B = NoBiconn> {
+    server: ShardedServer<C, B>,
     policy: AdmissionPolicy,
     caches: Vec<Mutex<ShardCache>>,
-    queue: VecDeque<(u64, Query)>,
+    /// Admitted queries tagged `(ticket, submission epoch, query)`.
+    queue: VecDeque<(u64, u64, Query)>,
     ready: BTreeMap<u64, ServeResult>,
     next_ticket: u64,
     next_deliver: u64,
@@ -517,12 +653,17 @@ pub struct StreamingServer<'o, 'g, G: GraphView> {
     /// cumulative across resets.
     retired: CacheStats,
     dispatch_seq: u64,
+    epochs: EpochTracker,
 }
 
-impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
+impl<C, B> StreamingServer<C, B>
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
     /// A streaming front end dispatching through `server` under `policy`.
     /// One empty result cache is created per shard.
-    pub fn new(server: ShardedServer<'o, 'g, G>, policy: AdmissionPolicy) -> Self {
+    pub fn new(server: ShardedServer<C, B>, policy: AdmissionPolicy) -> Self {
         let policy = AdmissionPolicy {
             max_batch: policy.max_batch.max(1),
             max_queue: policy.max_queue.max(1),
@@ -546,6 +687,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             robust: RobustnessStats::default(),
             retired: CacheStats::default(),
             dispatch_seq: 0,
+            epochs: EpochTracker::default(),
         }
     }
 
@@ -569,7 +711,8 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     /// # std::panic::set_hook(Box::new(|_| {})); // silence injected panics
     /// // Shard 0 panics on every dispatch; every query is still answered.
     /// let sharded = ShardedServer::new(oracle.query_handle(), 2);
-    /// let mut srv = StreamingServer::new(sharded, AdmissionPolicy::new(8, 32))
+    /// let policy = AdmissionPolicy::builder().max_batch(8).max_queue(32).build();
+    /// let mut srv = StreamingServer::new(sharded, policy)
     ///     .with_fault_plan(FaultPlan::seeded(1).with_panic_per_mille(1000).with_target_shard(0));
     /// let mut qled = Ledger::new(16);
     /// for v in 0..36u32 {
@@ -667,7 +810,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         }
         let t = self.next_ticket;
         self.next_ticket += 1;
-        self.queue.push_back((t, q));
+        self.queue.push_back((t, self.epochs.current(), q));
         if self.policy.overflow == Overflow::DispatchInline {
             while self.queue.len() >= self.policy.max_queue {
                 self.flush(led);
@@ -686,7 +829,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         }
         let mut total = 0u64;
         let mut take = 0usize;
-        for &(_, q) in self.queue.iter().take(max) {
+        for &(_, _, q) in self.queue.iter().take(max) {
             total = total.saturating_add(query_work_estimate(q, omega));
             if take > 0 && total > self.policy.op_budget {
                 break;
@@ -704,7 +847,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         if take == 0 {
             return 0;
         }
-        let batch: Vec<(u64, Query)> = self.queue.drain(..take).collect();
+        let batch: Vec<(u64, u64, Query)> = self.queue.drain(..take).collect();
         self.dispatch(led, &batch);
         take
     }
@@ -728,6 +871,9 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         let a = self.ready.remove(&self.next_deliver)?;
         let t = Ticket(self.next_deliver);
         self.next_deliver += 1;
+        // Delivery advanced: overlays of epochs it has fully passed are
+        // unreachable and can be retired.
+        self.epochs.prune(self.next_deliver);
         Some((t, a))
     }
 
@@ -759,14 +905,19 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     /// Cumulative cache counters summed across shards, including the
     /// history of caches retired by quarantine (`entries` counts only
     /// currently-resident entries).
-    pub fn cache_stats(&mut self) -> CacheStats {
+    ///
+    /// Read-only: a poisoned shard lock is peeked through without being
+    /// recovered (poison recovery — and its accounting — happens on the
+    /// dispatch path, which is the mutating one).
+    pub fn cache_stats(&self) -> CacheStats {
         let mut agg = self.retired;
-        for shard in 0..self.caches.len() {
-            let s = self.lock_recovered(shard).stats();
+        for cache in &self.caches {
+            let s = cache.lock().unwrap_or_else(PoisonError::into_inner).stats();
             agg.hits += s.hits;
             agg.misses += s.misses;
             agg.inserts += s.inserts;
             agg.evictions += s.evictions;
+            agg.invalidations += s.invalidations;
             agg.entries += s.entries;
         }
         agg
@@ -774,9 +925,12 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
 
     /// Cumulative cache counters of one shard's *current* cache (a
     /// quarantine resets these; the retired history is aggregated in
-    /// [`StreamingServer::cache_stats`]).
-    pub fn shard_cache_stats(&mut self, shard: usize) -> CacheStats {
-        self.lock_recovered(shard).stats()
+    /// [`StreamingServer::cache_stats`]). Read-only, like `cache_stats`.
+    pub fn shard_cache_stats(&self, shard: usize) -> CacheStats {
+        self.caches[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// Park one computed result in the reorder buffer.
@@ -830,7 +984,13 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     /// contract: quarantine, health bookkeeping, the charged backoff
     /// ladder, then the degraded uncached recompute of every affected
     /// query, parked in the reorder buffer as usual.
-    fn recover_group(&mut self, led: &mut Ledger, seq: u64, shard: usize, group: &[(u64, Query)]) {
+    fn recover_group(
+        &mut self,
+        led: &mut Ledger,
+        seq: u64,
+        shard: usize,
+        group: &[(u64, u64, Query)],
+    ) {
         self.robust.panics_caught += 1;
         self.quarantine(shard);
         self.note_failure(seq, shard);
@@ -848,9 +1008,13 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             }
             attempt += 1;
         }
-        for &(t, q) in group {
+        for &(t, e, q) in group {
             led.read(QUERY_WORDS);
-            let r = self.server.try_answer_one(led, q);
+            // The degraded path answers through the entry's own epoch
+            // overlay, like the healthy path (epoch 0's identity overlay
+            // charges nothing, keeping the PR-6 recovery contract exact).
+            let overlay = self.epochs.overlay_arc(e);
+            let r = self.server.try_answer_one_in(led, &overlay, q);
             self.robust.degraded_answers += 1;
             self.park(t, r);
         }
@@ -862,11 +1026,18 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     /// partitions contiguously over the surviving shards instead. Every
     /// shard chunk runs behind a panic-isolation boundary; failed chunks
     /// are recovered through [`StreamingServer::recover_group`].
-    fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, Query)]) {
+    fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, u64, Query)]) {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
         let n = batch.len();
         let s = self.server.shards();
+        // Entries submitted under an older epoch dispatch as stragglers:
+        // answered through their own epoch's retained overlay, uncached.
+        let current_epoch = self.epochs.current();
+        self.epochs.stats.straggler_answers += batch
+            .iter()
+            .filter(|&&(_, e, _)| e != current_epoch)
+            .count() as u64;
         // Breaker maintenance: cooled-down shards re-enter as probes.
         if self.recovery.breaker_threshold > 0 {
             for h in &mut self.health {
@@ -905,9 +1076,9 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
         };
         // The routing scan: hash every query's canonical key once.
         led.op(n as u64 * ROUTE_HASH_OPS);
-        let mut groups: Vec<Vec<(u64, Query)>> = (0..s).map(|_| Vec::new()).collect();
-        for &(t, q) in batch {
-            groups[self.owner_shard(q)].push((t, q));
+        let mut groups: Vec<Vec<(u64, u64, Query)>> = (0..s).map(|_| Vec::new()).collect();
+        for &(t, e, q) in batch {
+            groups[self.owner_shard(q)].push((t, e, q));
         }
         let max_group = groups.iter().map(Vec::len).max().unwrap_or(0);
         if max_group > skew_factor as usize * n.div_ceil(s) {
@@ -919,7 +1090,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
             self.dispatch_mapped(led, batch, &all, seq);
             return;
         }
-        let (server, caches) = (&self.server, &self.caches);
+        let (server, caches, epochs) = (&self.server, &self.caches, &self.epochs);
         let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
         let fault = self.fault.filter(|f| f.injects_anything());
         // Exactly s accounting chunks, chunk i = shard i serving its own
@@ -938,6 +1109,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
                 fault,
                 seq,
                 shard,
+                epochs,
             )
         });
         for (shard, outcome) in parts.into_iter().enumerate() {
@@ -965,13 +1137,13 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
     fn dispatch_mapped(
         &mut self,
         led: &mut Ledger,
-        batch: &[(u64, Query)],
+        batch: &[(u64, u64, Query)],
         map: &[usize],
         seq: u64,
     ) {
         let n = batch.len();
         let grain = n.div_ceil(map.len());
-        let (server, caches) = (&self.server, &self.caches);
+        let (server, caches, epochs) = (&self.server, &self.caches, &self.epochs);
         let (cap, eviction) = (self.policy.cache_capacity, self.policy.eviction);
         let fault = self.fault.filter(|f| f.injects_anything());
         let parts: Vec<ChunkOutcome> = led.scoped_par(n, grain, &|r, scope| {
@@ -989,6 +1161,7 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
                 fault,
                 seq,
                 shard,
+                epochs,
             )
         });
         for (i, outcome) in parts.into_iter().enumerate() {
@@ -1004,11 +1177,114 @@ impl<'o, 'g, G: GraphView> StreamingServer<'o, 'g, G> {
                 ChunkOutcome::Panicked => {
                     let lo = i * grain;
                     let hi = ((i + 1) * grain).min(n);
-                    let group: Vec<(u64, Query)> = batch[lo..hi].to_vec();
+                    let group: Vec<(u64, u64, Query)> = batch[lo..hi].to_vec();
                     self.recover_group(led, seq, shard, &group);
                 }
             }
         }
+    }
+
+    /// The serving epoch: 0 until the first [`Self::install_staged`],
+    /// incremented by each install.
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.current()
+    }
+
+    /// Cumulative counters of everything the epoch machinery did.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.epochs.stats
+    }
+
+    /// Epochs whose overlays are still live: the current epoch plus every
+    /// older epoch retaining in-flight tickets.
+    pub fn live_epochs(&self) -> Vec<u64> {
+        self.epochs.live_epochs()
+    }
+
+    /// The current epoch's component overlay (identity — empty — at
+    /// epoch 0).
+    pub fn current_overlay(&self) -> &ComponentOverlay {
+        self.epochs.current_overlay()
+    }
+}
+
+/// The mutation path: batched edge insertions as epoch-snapshot installs.
+/// Only available when the connectivity handle supports delta folding
+/// ([`DeltaOracle`]); read-only oracle families serve without it.
+impl<C, B> StreamingServer<C, B>
+where
+    C: DeltaOracle,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
+    /// Fold a batch of edge insertions into the **staged** next-epoch
+    /// overlay, leaving the serving epoch untouched: queries keep
+    /// answering (and caching) against the current snapshot while the
+    /// build runs. Several batches may be staged before one install; each
+    /// composes onto the previously staged overlay.
+    ///
+    /// Charges exactly the [`DeltaOracle::extend_overlay`] contract
+    /// (documented in `wec_connectivity::delta`) on `led` — sampling
+    /// reads, union-find operations, and `O(changed mappings)` overlay
+    /// freeze writes. Bit-identical across `WEC_THREADS`. An empty delta
+    /// with nothing staged is a free no-op.
+    pub fn stage_delta(&mut self, led: &mut Ledger, delta: &GraphDelta) {
+        if delta.is_empty() && !self.epochs.has_staged() {
+            return;
+        }
+        let base = self.epochs.stage_base();
+        let overlay = self.server.conn_handle().extend_overlay(led, &base, delta);
+        self.epochs.stage(Arc::new(overlay), delta.len() as u64);
+    }
+
+    /// Install the staged overlay as the next epoch's snapshot. Returns
+    /// the new epoch number, or `None` when nothing is staged.
+    ///
+    /// No query ever blocks on an install: in-flight tickets (queued or
+    /// dispatched under the old epoch) keep resolving with old-epoch
+    /// answers through the retained overlay, and new submissions are
+    /// tagged with the new epoch immediately.
+    ///
+    /// The install charges, in order, on `led`:
+    ///
+    /// 1. [`EPOCH_INSTALL_OPS`] unit operations — the snapshot pointer
+    ///    swap;
+    /// 2. per shard cache, `swept ·` [`INVALIDATE_SCAN_OPS`] unit
+    ///    operations, where `swept` is the shard's resident slot count
+    ///    (every slot's cached value is inspected once);
+    /// 3. `removed ·` [`INVALIDATE_ENTRY_WRITES`] asymmetric writes,
+    ///    where `removed` counts exactly the connectivity memos whose
+    ///    cached [`ComponentId`] the new overlay remaps
+    ///    (`overlay.peek(id) != id`). Predicate entries and memos whose
+    ///    component is untouched by the delta survive — invalidation is
+    ///    priced by what actually changed, not by cache size.
+    pub fn install_staged(&mut self, led: &mut Ledger) -> Option<u64> {
+        let overlay = self.epochs.take_staged()?;
+        led.op(EPOCH_INSTALL_OPS);
+        let (mut swept_total, mut removed_total) = (0u64, 0u64);
+        for shard in 0..self.caches.len() {
+            let (swept, removed) = self
+                .lock_recovered(shard)
+                .invalidate_stale(|id| overlay.peek(id) != id);
+            led.op(swept * INVALIDATE_SCAN_OPS);
+            led.write(removed * INVALIDATE_ENTRY_WRITES);
+            swept_total += swept;
+            removed_total += removed;
+        }
+        self.epochs.stats.invalidation_swept_slots += swept_total;
+        self.epochs.stats.invalidated_entries += removed_total;
+        let in_flight = self.next_ticket - self.next_deliver;
+        let epoch = self.epochs.install(overlay, self.next_ticket, in_flight);
+        self.epochs.prune(self.next_deliver);
+        Some(epoch)
+    }
+
+    /// [`Self::stage_delta`] followed by [`Self::install_staged`]: the
+    /// one-call mutation API. Returns the serving epoch after the call
+    /// (unchanged when `delta` is empty and nothing was staged).
+    pub fn apply_delta(&mut self, led: &mut Ledger, delta: &GraphDelta) -> u64 {
+        self.stage_delta(led, delta);
+        self.install_staged(led)
+            .unwrap_or_else(|| self.epochs.current())
     }
 }
 
@@ -1029,17 +1305,22 @@ enum ChunkOutcome {
 /// is what makes the documented recovery cost exact. The lock itself is
 /// poison-tolerant so one old panic can never wedge later dispatches.
 #[allow(clippy::too_many_arguments)]
-fn run_chunk<G: GraphView>(
-    server: &ShardedServer<'_, '_, G>,
+fn run_chunk<C, B>(
+    server: &ShardedServer<C, B>,
     scope: &mut LedgerScope,
     cache_mutex: &Mutex<ShardCache>,
-    group: &[(u64, Query)],
+    group: &[(u64, u64, Query)],
     cap: usize,
     eviction: Eviction,
     fault: Option<FaultPlan>,
     seq: u64,
     shard: usize,
-) -> ChunkOutcome {
+    epochs: &EpochTracker,
+) -> ChunkOutcome
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
     let ran = catch_unwind(AssertUnwindSafe(|| {
         if let Some(f) = fault {
             if let Some(stall) = f.stall_for(seq, shard as u64) {
@@ -1058,12 +1339,27 @@ fn run_chunk<G: GraphView>(
             }
         }
         scope.read(group.len() as u64 * QUERY_WORDS);
+        let current_epoch = epochs.current();
+        let overlay = epochs.current_overlay();
         let mut out = Vec::with_capacity(group.len());
-        for &(t, q) in group {
-            let r = if cap == 0 {
-                server.try_answer_one(scope.ledger(), q)
+        for &(t, e, q) in group {
+            let r = if e != current_epoch {
+                // Straggler: in flight across an install. Answer uncached
+                // through its own epoch's retained overlay, so the ticket
+                // resolves against the graph version it was submitted to.
+                server.try_answer_one_in(scope.ledger(), epochs.overlay_for(e), q)
+            } else if cap == 0 {
+                server.try_answer_one_in(scope.ledger(), overlay, q)
             } else {
-                answer_cached(server, scope.ledger(), &mut cache, cap, eviction, q)
+                answer_cached(
+                    server,
+                    scope.ledger(),
+                    &mut cache,
+                    cap,
+                    eviction,
+                    overlay,
+                    q,
+                )
             };
             out.push((t, r));
         }
@@ -1084,6 +1380,7 @@ fn fold_retired(agg: &mut CacheStats, dead: CacheStats) {
     agg.misses += dead.misses;
     agg.inserts += dead.inserts;
     agg.evictions += dead.evictions;
+    agg.invalidations += dead.invalidations;
 }
 
 /// Answer one query through the shard's cache, charging exactly the
@@ -1092,23 +1389,51 @@ fn fold_retired(agg: &mut CacheStats, dead: CacheStats) {
 /// is rejected with [`ServeError::UnsupportedQuery`] *before* probing, so
 /// the rejection charges nothing and the cache never learns spurious
 /// keys.
-fn answer_cached<G: GraphView>(
-    server: &ShardedServer<'_, '_, G>,
+#[allow(clippy::too_many_arguments)]
+fn answer_cached<C, B>(
+    server: &ShardedServer<C, B>,
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
     eviction: Eviction,
+    overlay: &ComponentOverlay,
     q: Query,
-) -> ServeResult {
+) -> ServeResult
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
     match q {
         Query::Component(v) => Ok(Answer::Component(memo_component(
-            server, led, cache, capacity, eviction, v,
+            server.conn_handle(),
+            led,
+            cache,
+            capacity,
+            eviction,
+            overlay,
+            v,
         ))),
         Query::Connected(u, v) => {
             // The answer is derived from the memoized ComponentId pair; the
             // comparison is free, as in ConnQueryHandle::component_pair.
-            let a = memo_component(server, led, cache, capacity, eviction, u);
-            let b = memo_component(server, led, cache, capacity, eviction, v);
+            let a = memo_component(
+                server.conn_handle(),
+                led,
+                cache,
+                capacity,
+                eviction,
+                overlay,
+                u,
+            );
+            let b = memo_component(
+                server.conn_handle(),
+                led,
+                cache,
+                capacity,
+                eviction,
+                overlay,
+                v,
+            );
             Ok(Answer::Connected(a == b))
         }
         Query::TwoEdgeConnected(u, v) => match server.bicon_handle() {
@@ -1136,33 +1461,47 @@ fn answer_cached<G: GraphView>(
     }
 }
 
-fn memo_component<G: GraphView>(
-    server: &ShardedServer<'_, '_, G>,
+/// Memoized `Vertex → ComponentId` resolution. Cached ids are **epoch
+/// canonical**: a miss resolves the oracle's base id through the current
+/// overlay before filling, so hits need no overlay work and the
+/// install-time staleness test (`overlay.peek(id) != id`) is exact. At
+/// epoch 0 the identity overlay adds nothing, so the charge sequence is
+/// the pre-epoch one.
+fn memo_component<C>(
+    conn: C,
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
     eviction: Eviction,
+    overlay: &ComponentOverlay,
     v: Vertex,
-) -> ComponentId {
+) -> ComponentId
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+{
     if let Some(hit) = cache.probe(CacheKey::Comp(v), eviction) {
         let CacheVal::Comp(id) = hit else {
             unreachable!("component key holds a component value")
         };
         return id;
     }
-    let id = server.conn_handle().component(led, v);
+    let id = conn.answer_key(led, v);
+    let id = overlay.canonical(led, id);
     cache.fill(CacheKey::Comp(v), CacheVal::Comp(id), capacity, eviction);
     id
 }
 
-fn memo_pred<G: GraphView>(
-    bicon: BiconnQueryHandle<'_, '_, G>,
+fn memo_pred<B>(
+    bicon: B,
     led: &mut Ledger,
     cache: &mut ShardCache,
     capacity: usize,
     eviction: Eviction,
     key: BiconnQueryKey,
-) -> bool {
+) -> bool
+where
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
     if let Some(hit) = cache.probe(CacheKey::Pred(key), eviction) {
         let CacheVal::Pred(ans) = hit else {
             unreachable!("predicate key holds a predicate value")
@@ -1172,4 +1511,35 @@ fn memo_pred<G: GraphView>(
     let ans = bicon.answer_key(led, key);
     cache.fill(CacheKey::Pred(key), CacheVal::Pred(ans), capacity, eviction);
     ans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let old = AdmissionPolicy::new(8, 32)
+            .with_cache_capacity(2)
+            .with_routing(Routing::Contiguous)
+            .with_eviction(Eviction::FillUntilFull)
+            .with_overflow(Overflow::Shed)
+            .with_op_budget(99);
+        let new = AdmissionPolicy::builder()
+            .max_batch(8)
+            .max_queue(32)
+            .cache_capacity(2)
+            .routing(Routing::Contiguous)
+            .eviction(Eviction::FillUntilFull)
+            .overflow(Overflow::Shed)
+            .op_budget(99)
+            .build();
+        assert_eq!(old, new, "shims and builder build identical policies");
+        // Both surfaces clamp the batching knobs to at least 1.
+        assert_eq!(
+            AdmissionPolicy::new(0, 0),
+            AdmissionPolicy::builder().max_batch(0).max_queue(0).build(),
+        );
+    }
 }

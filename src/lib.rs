@@ -31,7 +31,9 @@
 //!   delivery, per-shard result caches with affinity routing — repeat
 //!   keys always land on the shard holding their entry — and
 //!   deterministic CLOCK eviction, all under an exact, test-enforced
-//!   cost contract).
+//!   cost contract), and epoch-snapshot mutations (batched `GraphDelta`
+//!   edge insertions staged into the next epoch's overlay and installed
+//!   without ever blocking a read).
 //!
 //! ## Quickstart
 //!

@@ -26,8 +26,9 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::core::BuildOpts;
 use wec::graph::{gen, Csr, Priorities, Vertex};
 use wec::serve::{
-    AdmissionPolicy, Eviction, Query, Routing, ShardedServer, StreamingServer, CACHE_INSERT_WRITES,
-    CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS, QUERY_WORDS, ROUTE_HASH_OPS,
+    AdmissionPolicy, Eviction, FullServer, FullStreamingServer, Query, Routing, ShardedServer,
+    StreamingServer, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS, CLOCK_TOUCH_OPS,
+    QUERY_WORDS, ROUTE_HASH_OPS,
 };
 
 const OMEGA: u64 = 64;
@@ -58,7 +59,7 @@ fn streaming_server<'o, 'g>(
     conn: &'o ConnectivityOracle<'g, Csr>,
     bicon: &'o BiconnectivityOracle<'g, Csr>,
     policy: AdmissionPolicy,
-) -> StreamingServer<'o, 'g, Csr> {
+) -> FullStreamingServer<'o, 'g, Csr> {
     let sharded =
         ShardedServer::new(conn.query_handle(), SHARDS).with_biconnectivity(bicon.query_handle());
     StreamingServer::new(sharded, policy)
@@ -160,7 +161,7 @@ impl SimClock {
 /// on fresh ledgers. `sims` carries per-shard CLOCK state in and out so a
 /// second call prices the warmed pass.
 fn replay_affinity_clock(
-    server1: &ShardedServer<'_, '_, Csr>,
+    server1: &FullServer<'_, '_, Csr>,
     stream: &[Query],
     max_batch: usize,
     capacity: usize,
@@ -240,10 +241,13 @@ fn affinity_clock_contract_exact_cold_then_warm() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(max_batch, 10_000)
-            .with_cache_capacity(capacity)
-            .with_routing(Routing::Affinity { skew_factor: skew })
-            .with_eviction(Eviction::Clock),
+        AdmissionPolicy::builder()
+            .max_batch(max_batch)
+            .max_queue(10_000)
+            .cache_capacity(capacity)
+            .routing(Routing::Affinity { skew_factor: skew })
+            .eviction(Eviction::Clock)
+            .build(),
     );
     let server1 =
         ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
@@ -301,10 +305,13 @@ fn affinity_clock_bit_identical_across_parallelism() {
         let mut srv = streaming_server(
             &conn,
             &bicon,
-            AdmissionPolicy::new(32, 64)
-                .with_cache_capacity(16) // small: evictions exercised
-                .with_routing(Routing::Affinity { skew_factor: 4 })
-                .with_eviction(Eviction::Clock),
+            AdmissionPolicy::builder()
+                .max_batch(32)
+                .max_queue(64)
+                .cache_capacity(16) // small: evictions exercised
+                .routing(Routing::Affinity { skew_factor: 4 })
+                .eviction(Eviction::Clock)
+                .build(),
         );
         for &q in &stream {
             srv.submit(&mut led, q).unwrap();
@@ -345,10 +352,13 @@ fn capacity_zero_bypasses_cache_even_under_affinity_clock() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(max_batch, 10_000)
-            .with_cache_capacity(0)
-            .with_routing(Routing::Affinity { skew_factor: 4 })
-            .with_eviction(Eviction::Clock),
+        AdmissionPolicy::builder()
+            .max_batch(max_batch)
+            .max_queue(10_000)
+            .cache_capacity(0)
+            .routing(Routing::Affinity { skew_factor: 4 })
+            .eviction(Eviction::Clock)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
@@ -387,10 +397,13 @@ fn capacity_one_churns_in_place_and_stays_correct() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(32, 64)
-            .with_cache_capacity(1)
-            .with_routing(Routing::Affinity { skew_factor: 4 })
-            .with_eviction(Eviction::Clock),
+        AdmissionPolicy::builder()
+            .max_batch(32)
+            .max_queue(64)
+            .cache_capacity(1)
+            .routing(Routing::Affinity { skew_factor: 4 })
+            .eviction(Eviction::Clock)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
@@ -439,10 +452,13 @@ fn adversarial_churn_all_distinct_keys_hit_rate_zero() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(64, 10_000)
-            .with_cache_capacity(capacity)
-            .with_routing(Routing::Affinity { skew_factor: 4 })
-            .with_eviction(Eviction::Clock),
+        AdmissionPolicy::builder()
+            .max_batch(64)
+            .max_queue(10_000)
+            .cache_capacity(capacity)
+            .routing(Routing::Affinity { skew_factor: 4 })
+            .eviction(Eviction::Clock)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
@@ -486,10 +502,13 @@ fn skew_fallback_charges_contiguous_plus_routing_scan() {
         let mut srv = streaming_server(
             &conn,
             &bicon,
-            AdmissionPolicy::new(50, 10_000)
-                .with_cache_capacity(64)
-                .with_routing(routing)
-                .with_eviction(Eviction::Clock),
+            AdmissionPolicy::builder()
+                .max_batch(50)
+                .max_queue(10_000)
+                .cache_capacity(64)
+                .routing(routing)
+                .eviction(Eviction::Clock)
+                .build(),
         );
         let mut led = Ledger::new(OMEGA);
         for &q in &stream {
@@ -570,10 +589,13 @@ fn affinity_clock_beats_fill_baseline_under_capacity_pressure() {
         let mut srv = streaming_server(
             &conn,
             &bicon,
-            AdmissionPolicy::new(64, 64)
-                .with_cache_capacity(per_shard)
-                .with_routing(routing)
-                .with_eviction(eviction),
+            AdmissionPolicy::builder()
+                .max_batch(64)
+                .max_queue(64)
+                .cache_capacity(per_shard)
+                .routing(routing)
+                .eviction(eviction)
+                .build(),
         );
         let mut led = Ledger::new(OMEGA);
         for &q in &stream {

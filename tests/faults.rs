@@ -37,9 +37,9 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::core::BuildOpts;
 use wec::graph::{gen, Csr, Priorities, Vertex};
 use wec::serve::{
-    query_work_estimate, AdmissionPolicy, BreakerState, Eviction, FaultPlan, Overflow, Query,
-    RecoveryPolicy, RobustnessStats, Routing, ServeError, ServeResult, ShardedServer,
-    StreamingServer, Ticket,
+    query_work_estimate, AdmissionPolicy, BreakerState, Eviction, FaultPlan, FullStreamingServer,
+    Overflow, Query, RecoveryPolicy, RobustnessStats, Routing, ServeError, ServeResult,
+    ShardedServer, StreamingServer, Ticket,
 };
 
 const OMEGA: u64 = 64;
@@ -88,7 +88,7 @@ fn streaming_server<'o, 'g>(
     conn: &'o ConnectivityOracle<'g, Csr>,
     bicon: &'o BiconnectivityOracle<'g, Csr>,
     policy: AdmissionPolicy,
-) -> StreamingServer<'o, 'g, Csr> {
+) -> FullStreamingServer<'o, 'g, Csr> {
     let sharded =
         ShardedServer::new(conn.query_handle(), SHARDS).with_biconnectivity(bicon.query_handle());
     StreamingServer::new(sharded, policy)
@@ -189,10 +189,13 @@ fn seeded_panic_plan_answers_everything_in_order() {
     let stream = hot_stream(n, 4000);
 
     let policy = || {
-        AdmissionPolicy::new(64, 64)
-            .with_cache_capacity(32)
-            .with_routing(Routing::Affinity { skew_factor: 4 })
-            .with_eviction(Eviction::Clock)
+        AdmissionPolicy::builder()
+            .max_batch(64)
+            .max_queue(64)
+            .cache_capacity(32)
+            .routing(Routing::Affinity { skew_factor: 4 })
+            .eviction(Eviction::Clock)
+            .build()
     };
     let plan = FaultPlan::seeded(0xF417)
         .with_panic_per_mille(10)
@@ -252,10 +255,13 @@ fn zero_knob_plan_charges_identically_to_no_plan() {
     let stream = mixed_stream(n, 900, 0xBEEF);
 
     let policy = || {
-        AdmissionPolicy::new(48, 48)
-            .with_cache_capacity(64)
-            .with_routing(Routing::Affinity { skew_factor: 4 })
-            .with_eviction(Eviction::Clock)
+        AdmissionPolicy::builder()
+            .max_batch(48)
+            .max_queue(48)
+            .cache_capacity(64)
+            .routing(Routing::Affinity { skew_factor: 4 })
+            .eviction(Eviction::Clock)
+            .build()
     };
     let quiet = FaultPlan::seeded(123);
     assert!(!quiet.injects_anything());
@@ -287,10 +293,13 @@ fn breaker_trips_excludes_and_reprobes_a_dead_shard() {
     let (conn, bicon) = build_oracles(&g, &pri, &verts);
     let stream = hot_stream(n, 1200);
 
-    let policy = AdmissionPolicy::new(16, 16)
-        .with_cache_capacity(32)
-        .with_routing(Routing::Affinity { skew_factor: 4 })
-        .with_eviction(Eviction::Clock);
+    let policy = AdmissionPolicy::builder()
+        .max_batch(16)
+        .max_queue(16)
+        .cache_capacity(32)
+        .routing(Routing::Affinity { skew_factor: 4 })
+        .eviction(Eviction::Clock)
+        .build();
     let recovery = RecoveryPolicy::default()
         .with_breaker_threshold(2)
         .with_breaker_cooldown(3);
@@ -360,10 +369,13 @@ fn half_open_probe_success_restores_the_shard() {
     let (conn, bicon) = build_oracles(&g, &pri, &verts);
     let stream = hot_stream(n, 2000);
 
-    let policy = AdmissionPolicy::new(16, 16)
-        .with_cache_capacity(32)
-        .with_routing(Routing::Affinity { skew_factor: 4 })
-        .with_eviction(Eviction::Clock);
+    let policy = AdmissionPolicy::builder()
+        .max_batch(16)
+        .max_queue(16)
+        .cache_capacity(32)
+        .routing(Routing::Affinity { skew_factor: 4 })
+        .eviction(Eviction::Clock)
+        .build();
     let recovery = RecoveryPolicy::default()
         .with_breaker_threshold(2)
         .with_breaker_cooldown(2);
@@ -408,10 +420,13 @@ fn poisoned_cache_lock_is_cleared_and_counted() {
     let (conn, bicon) = build_oracles(&g, &pri, &verts);
     let stream = hot_stream(n, 600);
 
-    let policy = AdmissionPolicy::new(16, 16)
-        .with_cache_capacity(32)
-        .with_routing(Routing::Affinity { skew_factor: 4 })
-        .with_eviction(Eviction::Clock);
+    let policy = AdmissionPolicy::builder()
+        .max_batch(16)
+        .max_queue(16)
+        .cache_capacity(32)
+        .routing(Routing::Affinity { skew_factor: 4 })
+        .eviction(Eviction::Clock)
+        .build();
     let plan = FaultPlan::seeded(5)
         .with_poison_per_mille(120)
         .with_target_shard(1);
@@ -457,7 +472,11 @@ fn shed_overflow_rejects_without_consuming_tickets() {
     let verts: Vec<Vertex> = (0..n).collect();
     let (conn, bicon) = build_oracles(&g, &pri, &verts);
 
-    let policy = AdmissionPolicy::new(64, 4).with_overflow(Overflow::Shed);
+    let policy = AdmissionPolicy::builder()
+        .max_batch(64)
+        .max_queue(4)
+        .overflow(Overflow::Shed)
+        .build();
     let mut srv = streaming_server(&conn, &bicon, policy);
     let mut led = Ledger::new(OMEGA);
 
@@ -527,19 +546,22 @@ fn ticket_order_survives_random_interleavings_of_faults() {
         } else {
             Overflow::DispatchInline
         };
-        let policy = AdmissionPolicy::new(rng.gen_range(1..24), rng.gen_range(2..32))
-            .with_cache_capacity([0, 8, 64][rng.gen_range(0..3)])
-            .with_routing(if rng.gen_bool(0.5) {
+        let policy = AdmissionPolicy::builder()
+            .max_batch(rng.gen_range(1..24))
+            .max_queue(rng.gen_range(2..32))
+            .cache_capacity([0, 8, 64][rng.gen_range(0..3)])
+            .routing(if rng.gen_bool(0.5) {
                 Routing::Affinity { skew_factor: 4 }
             } else {
                 Routing::Contiguous
             })
-            .with_eviction(if rng.gen_bool(0.5) {
+            .eviction(if rng.gen_bool(0.5) {
                 Eviction::Clock
             } else {
                 Eviction::FillUntilFull
             })
-            .with_overflow(overflow);
+            .overflow(overflow)
+            .build();
         let plan = FaultPlan::seeded(rng.gen::<u64>())
             .with_panic_per_mille(rng.gen_range(0..80))
             .with_poison_per_mille(rng.gen_range(0..40))
@@ -605,9 +627,12 @@ fn op_budget_sizes_batches_by_the_estimate() {
     let stream: Vec<Query> = (0..10).map(|v| Query::Component(v % n)).collect();
 
     let dispatches_with = |op_budget: u64| {
-        let policy = AdmissionPolicy::new(64, 64)
-            .with_cache_capacity(16)
-            .with_op_budget(op_budget);
+        let policy = AdmissionPolicy::builder()
+            .max_batch(64)
+            .max_queue(64)
+            .cache_capacity(16)
+            .op_budget(op_budget)
+            .build();
         let mut srv = streaming_server(&conn, &bicon, policy);
         let mut led = Ledger::new(OMEGA);
         for &q in &stream {

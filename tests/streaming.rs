@@ -28,8 +28,8 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::core::BuildOpts;
 use wec::graph::{gen, Csr, Priorities, Vertex};
 use wec::serve::{
-    shard_chunks, AdmissionPolicy, Answer, Eviction, Query, Routing, ShardedServer,
-    StreamingServer, CACHE_INSERT_WRITES, CACHE_PROBE_READS, QUERY_WORDS,
+    shard_chunks, AdmissionPolicy, Answer, Eviction, FullServer, FullStreamingServer, Query,
+    Routing, ShardedServer, StreamingServer, CACHE_INSERT_WRITES, CACHE_PROBE_READS, QUERY_WORDS,
 };
 
 const OMEGA: u64 = 64;
@@ -77,7 +77,7 @@ fn streaming_server<'o, 'g>(
     conn: &'o ConnectivityOracle<'g, Csr>,
     bicon: &'o BiconnectivityOracle<'g, Csr>,
     policy: AdmissionPolicy,
-) -> StreamingServer<'o, 'g, Csr> {
+) -> FullStreamingServer<'o, 'g, Csr> {
     let sharded =
         ShardedServer::new(conn.query_handle(), SHARDS).with_biconnectivity(bicon.query_handle());
     StreamingServer::new(sharded, policy)
@@ -94,7 +94,7 @@ fn streaming_server<'o, 'g>(
 /// over the same sets prices the warmed pass.
 #[allow(clippy::type_complexity)]
 fn replay_expected_costs(
-    server1: &ShardedServer<'_, '_, Csr>,
+    server1: &FullServer<'_, '_, Csr>,
     stream: &[Query],
     max_batch: usize,
     capacity: usize,
@@ -169,7 +169,11 @@ fn answers_in_submission_order_and_match_one_by_one() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(48, 96).with_cache_capacity(1 << 12),
+        AdmissionPolicy::builder()
+            .max_batch(48)
+            .max_queue(96)
+            .cache_capacity(1 << 12)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     let tickets: Vec<_> = stream
@@ -215,10 +219,13 @@ fn hit_miss_cost_contract_exact_cold_then_warm() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(max_batch, 10_000)
-            .with_cache_capacity(capacity)
-            .with_routing(Routing::Contiguous)
-            .with_eviction(Eviction::FillUntilFull),
+        AdmissionPolicy::builder()
+            .max_batch(max_batch)
+            .max_queue(10_000)
+            .cache_capacity(capacity)
+            .routing(Routing::Contiguous)
+            .eviction(Eviction::FillUntilFull)
+            .build(),
     );
     let server1 =
         ShardedServer::new(conn.query_handle(), 1).with_biconnectivity(bicon.query_handle());
@@ -288,7 +295,11 @@ fn costs_bit_identical_across_parallelism() {
         let mut srv = streaming_server(
             &conn,
             &bicon,
-            AdmissionPolicy::new(32, 64).with_cache_capacity(1 << 10),
+            AdmissionPolicy::builder()
+                .max_batch(32)
+                .max_queue(64)
+                .cache_capacity(1 << 10)
+                .build(),
         );
         for &q in &stream {
             srv.submit(&mut led, q).unwrap();
@@ -321,7 +332,11 @@ fn batch_size_one_dispatches_every_submission() {
     let verts: Vec<Vertex> = (0..n as u32).collect();
     let (conn, bicon) = build_oracles(&g, &pri, &verts);
 
-    let mut srv = streaming_server(&conn, &bicon, AdmissionPolicy::new(1, 1));
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::builder().max_batch(1).max_queue(1).build(),
+    );
     let mut led = Ledger::new(OMEGA);
     for (i, q) in [
         Query::Connected(0, 5),
@@ -349,7 +364,14 @@ fn drain_ships_short_final_batch_when_queue_runs_out() {
 
     let mut rng = SmallRng::seed_from_u64(0x0DD);
     let stream = random_stream(&mut rng, n as u32, 300);
-    let mut srv = streaming_server(&conn, &bicon, AdmissionPolicy::new(128, 10_000));
+    let mut srv = streaming_server(
+        &conn,
+        &bicon,
+        AdmissionPolicy::builder()
+            .max_batch(128)
+            .max_queue(10_000)
+            .build(),
+    );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
         srv.submit(&mut led, q).unwrap();
@@ -381,7 +403,11 @@ fn capacity_zero_charges_exactly_the_sharded_batch_path() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(max_batch, 10_000).with_cache_capacity(0),
+        AdmissionPolicy::builder()
+            .max_batch(max_batch)
+            .max_queue(10_000)
+            .cache_capacity(0)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
@@ -421,7 +447,11 @@ fn tiny_capacity_bounds_fills_but_not_correctness() {
     let mut srv = streaming_server(
         &conn,
         &bicon,
-        AdmissionPolicy::new(32, 64).with_cache_capacity(capacity),
+        AdmissionPolicy::builder()
+            .max_batch(32)
+            .max_queue(64)
+            .cache_capacity(capacity)
+            .build(),
     );
     let mut led = Ledger::new(OMEGA);
     for &q in &stream {
