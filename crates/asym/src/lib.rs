@@ -51,6 +51,7 @@ pub mod hash;
 pub mod ledger;
 pub mod mutation;
 pub mod report;
+pub mod wire;
 
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
@@ -63,6 +64,7 @@ pub use mutation::{
     OVERLAY_ENTRY_WRITES, OVERLAY_FIND_OPS, OVERLAY_LOOKUP_READS, OVERLAY_UNION_OPS,
 };
 pub use report::CostReport;
+pub use wire::{DRR_VISIT_OPS, FRAME_DECODE_OPS, FRAME_ENCODE_OPS, TENANT_ADMIT_OPS};
 
 /// Default write-cost multiplier used by examples and tests when nothing
 /// more specific is requested. Projections for PCM/ReRAM in the paper's

@@ -1,0 +1,36 @@
+//! Charge constants for the wire front end and multi-tenant admission.
+//!
+//! PR 8 gives the streaming server a byte protocol (`wec-serve`'s `wire`
+//! module) and per-tenant fair-share admission. Both sit *in front of* the
+//! dispatch path whose prices are pinned by `costs_golden.json`, so their
+//! own work is charged through the same [`Ledger`](crate::Ledger)
+//! discipline in units of the constants below — and only on the paths that
+//! actually use them: a server with no tenants configured and no frontend
+//! attached executes the exact pre-PR-8 charge sequence.
+//!
+//! As with the [`mutation`](crate::mutation) constants, every named step is
+//! a single probe, table lookup, or bounded decode, so the constants are
+//! all `1`; they are named rather than inlined so the replay tests and the
+//! golden-cost tooling can point at a price when a formula drifts.
+
+/// Unit operations charged per submission when tenancy is active: the
+/// tenant-table lookup plus the quota check (one bounded probe of the
+/// per-tenant admission record). Charged whether the submission is
+/// admitted or rejected — the check *is* the work. Inactive tenancy (no
+/// tenants configured, FIFO composition) charges nothing.
+pub const TENANT_ADMIT_OPS: u64 = 1;
+
+/// Unit operations charged per tenant queue the deficit-round-robin
+/// composer visits while assembling one micro-batch (replenishing the
+/// deficit and inspecting the queue head). The visit count is a pure
+/// function of the submission sequence, so the composition bill is
+/// bit-identical across `WEC_THREADS`.
+pub const DRR_VISIT_OPS: u64 = 1;
+
+/// Unit operations charged per wire frame the frontend decodes (header
+/// validation plus the bounded payload parse).
+pub const FRAME_DECODE_OPS: u64 = 1;
+
+/// Unit operations charged per wire frame the frontend encodes (header
+/// plus the bounded payload serialization).
+pub const FRAME_ENCODE_OPS: u64 = 1;

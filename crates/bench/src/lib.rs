@@ -37,7 +37,12 @@
 //! edge insertions installed as epoch snapshots at 1% of the query rate —
 //! proving zero queries block on an install while measuring the
 //! throughput retained against the read-only baseline — and emits
-//! `BENCH_PR7.json`. Criterion wall-clock benches live in `benches/`.
+//! `BENCH_PR7.json`; `tenant_bench` drives ~10k loopback wire clients
+//! with a 10:1 per-tenant arrival skew through the `wec_serve::Frontend`
+//! — deficit-round-robin fair share and a 4:2:1:1 weighted leg against
+//! the FIFO baseline, measuring per-tenant delivered share, p99 ticket
+//! latency in pump rounds, and throughput retained — and emits
+//! `BENCH_PR8.json`. Criterion wall-clock benches live in `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -900,6 +905,183 @@ impl EpochSnapshot {
     /// override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_EPOCH_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// One tenant's view of one measured tenancy leg: arrival share in,
+/// delivered share out.
+#[derive(Debug, Clone)]
+pub struct TenantLane {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Fair-share weight the leg ran with.
+    pub weight: u64,
+    /// Loopback client connections bound to this tenant (the arrival-rate
+    /// knob — clients submit closed-loop, one request per round per open
+    /// window slot).
+    pub clients: u64,
+    /// Requests this tenant's clients submitted.
+    pub submitted: u64,
+    /// Answers delivered during the loaded phase (arrivals still
+    /// flowing — the contended window fairness is measured over).
+    pub delivered_loaded: u64,
+    /// This tenant's share of loaded-phase deliveries, in percent.
+    pub share_pct: f64,
+    /// The share the leg's policy promises, in percent (weight share
+    /// under fair-share legs; arrival share under FIFO).
+    pub expected_share_pct: f64,
+    /// p99 ticket latency in pump rounds over loaded-phase deliveries.
+    pub p99_latency_rounds: f64,
+    /// `delivered_total / submitted` after the drain; the quota-free
+    /// contract pins this at exactly 1.0.
+    pub completeness: f64,
+}
+
+impl TenantLane {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("tenant", self.tenant)
+            .num("weight", self.weight)
+            .num("clients", self.clients)
+            .num("submitted", self.submitted)
+            .num("delivered_loaded", self.delivered_loaded)
+            .float("share_pct", self.share_pct)
+            .float("expected_share_pct", self.expected_share_pct)
+            .float("p99_latency_rounds", self.p99_latency_rounds)
+            .float("completeness", self.completeness)
+            .finish()
+    }
+}
+
+/// One measured leg of the tenancy sweep: a batch-composition policy
+/// (FIFO / equal-weight DRR / weighted DRR) driven by the same skewed
+/// client population.
+#[derive(Debug, Clone)]
+pub struct TenantLeg {
+    /// `"fifo"`, `"fair"` (equal-weight DRR), or `"weighted"` (4:2:1:1).
+    pub mode: String,
+    /// Loaded-phase pump rounds (arrivals flowing).
+    pub rounds: u64,
+    /// Per-tenant lanes, ascending by tenant id.
+    pub lanes: Vec<TenantLane>,
+    /// Max over tenants of `|share_pct − expected_share_pct|` relative to
+    /// the expected share, in percent. The fair-share acceptance bound is
+    /// ≤ 10 on the DRR legs.
+    pub fairness_max_dev_pct: f64,
+    /// p99 ticket latency in pump rounds across all tenants'
+    /// loaded-phase deliveries.
+    pub p99_latency_rounds: f64,
+    /// Wall-clock seconds for the whole leg (loaded phase + drain).
+    pub seconds: f64,
+    /// Answers delivered per second over the whole leg.
+    pub query_throughput_per_sec: f64,
+}
+
+impl TenantLeg {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("mode", &self.mode)
+            .num("rounds", self.rounds)
+            .raw(
+                "lanes",
+                &json::array(self.lanes.iter().map(|l| l.to_json())),
+            )
+            .float("fairness_max_dev_pct", self.fairness_max_dev_pct)
+            .float("p99_latency_rounds", self.p99_latency_rounds)
+            .float("seconds", self.seconds)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .finish()
+    }
+}
+
+/// The machine-readable multi-tenant wire snapshot (`BENCH_PR8.json`):
+/// thousands of loopback wire clients with a 10:1 per-tenant arrival skew
+/// served through the `Frontend`, under FIFO, equal-weight DRR, and
+/// 4:2:1:1 weighted DRR composition. The top-level
+/// `query_throughput_per_sec` (fair leg), `fifo_throughput_per_sec`,
+/// `fair_vs_fifo_throughput_pct`, `fairness_max_dev_pct` /
+/// `weighted_fairness_max_dev_pct` (both ≤ 10 is the acceptance bound),
+/// and `min_tenant_completeness` (must be exactly 1.0 — quota-free, no
+/// tenant loses an answer) keys are what the CI bench guard validates.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Total loopback client connections.
+    pub clients: u64,
+    /// All measured legs.
+    pub legs: Vec<TenantLeg>,
+}
+
+impl TenantSnapshot {
+    fn leg(&self, mode: &str) -> Option<&TenantLeg> {
+        self.legs.iter().find(|l| l.mode == mode)
+    }
+
+    /// Fair-leg throughput relative to the FIFO baseline, in percent.
+    pub fn fair_vs_fifo_throughput_pct(&self) -> f64 {
+        match (self.leg("fair"), self.leg("fifo")) {
+            (Some(f), Some(b)) if b.query_throughput_per_sec > 0.0 => {
+                100.0 * f.query_throughput_per_sec / b.query_throughput_per_sec
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// The worst per-tenant completeness across every leg and lane.
+    pub fn min_tenant_completeness(&self) -> f64 {
+        self.legs
+            .iter()
+            .flat_map(|l| l.lanes.iter().map(|t| t.completeness))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("shards", self.shards)
+            .num("clients", self.clients)
+            .raw("legs", &json::array(self.legs.iter().map(|l| l.to_json())));
+        if let Some(f) = self.leg("fair") {
+            obj = obj
+                .float("query_throughput_per_sec", f.query_throughput_per_sec)
+                .float("fairness_max_dev_pct", f.fairness_max_dev_pct)
+                .float("p99_latency_rounds", f.p99_latency_rounds);
+        }
+        if let Some(b) = self.leg("fifo") {
+            obj = obj.float("fifo_throughput_per_sec", b.query_throughput_per_sec);
+        }
+        if let Some(w) = self.leg("weighted") {
+            obj = obj.float("weighted_fairness_max_dev_pct", w.fairness_max_dev_pct);
+        }
+        obj.float(
+            "fair_vs_fifo_throughput_pct",
+            self.fair_vs_fifo_throughput_pct(),
+        )
+        .float("min_tenant_completeness", self.min_tenant_completeness())
+        .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_TENANT_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_TENANT_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

@@ -97,6 +97,8 @@ pub mod epoch;
 pub mod fault;
 pub mod handle;
 pub mod streaming;
+pub mod tenant;
+pub mod wire;
 
 pub use epoch::EpochStats;
 pub use fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
@@ -106,10 +108,34 @@ pub use streaming::{
     Routing, StreamingServer, Ticket, CACHE_INSERT_WRITES, CACHE_PROBE_READS, CLOCK_SWEEP_OPS,
     CLOCK_TOUCH_OPS, ROUTE_HASH_OPS,
 };
-// The mutation-path charge constants, re-exported beside the serving ones
-// so replay tests and benches price epochs from one import surface.
-pub use wec_asym::{EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS};
+pub use tenant::{FairShare, TenancyStats, TenantId, TenantSpec, TenantStats};
+pub use wire::{
+    encode_frame, loopback_pair, ConnId, Frame, FrameBuf, Frontend, FrontendStats,
+    LoopbackTransport, PumpReport, TcpTransport, Transport, TransportError, WireFault,
+    MAX_FRAME_BYTES, WIRE_VERSION,
+};
+// The mutation- and wire-path charge constants, re-exported beside the
+// serving ones so replay tests and benches price everything from one
+// import surface.
+pub use wec_asym::{
+    DRR_VISIT_OPS, EPOCH_INSTALL_OPS, FRAME_DECODE_OPS, FRAME_ENCODE_OPS, INVALIDATE_ENTRY_WRITES,
+    INVALIDATE_SCAN_OPS, TENANT_ADMIT_OPS,
+};
 pub use wec_connectivity::{ComponentOverlay, GraphDelta};
+
+/// The one stats-snapshot idiom: every cumulative counter family a server
+/// keeps is exposed as a cheap copyable stats struct behind a `*_stats`
+/// method, and the method is also reachable generically through this
+/// trait — `Snapshot::<CacheStats>::snapshot(&srv)` and
+/// `srv.cache_stats()` are the same call. Snapshots are read-only,
+/// poison-tolerant, and never charge a ledger. Implemented by
+/// [`StreamingServer`] for [`CacheStats`], [`RobustnessStats`],
+/// [`EpochStats`], and [`TenancyStats`], and by [`Frontend`] for
+/// [`FrontendStats`].
+pub trait Snapshot<S> {
+    /// Copy out the current counter values.
+    fn snapshot(&self) -> S;
+}
 
 use wec_asym::Ledger;
 use wec_biconnectivity::{BiconnQueryHandle, BiconnQueryKey};
@@ -170,9 +196,12 @@ impl Answer {
 ///
 /// The streaming server never loses a ticket: a query that cannot be
 /// answered is *delivered*, in submission order, as an `Err` of this type.
-/// Only [`StreamingServer::submit`](streaming::StreamingServer::submit)
-/// under [`Overflow::Shed`] can fail before a
-/// ticket is issued.
+/// Only admission itself —
+/// [`StreamingServer::submit`](streaming::StreamingServer::submit) under
+/// [`Overflow::Shed`], or a tenant rejection
+/// ([`ServeError::UnknownTenant`] / [`ServeError::QuotaExceeded`]) — can
+/// fail before a ticket is issued. On the wire the same type travels as
+/// the error-frame payload, so clients see one error surface end to end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServeError {
     /// A biconnectivity-class query reached a server built without a
@@ -182,13 +211,39 @@ pub enum ServeError {
     UnsupportedQuery(Query),
     /// The submission was shed: the queue sits at the policy's
     /// `max_queue` bound and the overflow policy is
-    /// [`Overflow::Shed`]. No ticket was
-    /// consumed; resubmitting after draining is safe.
+    /// [`Overflow::Shed`] — or, on the wire, the connection's in-flight
+    /// window is full. No ticket was consumed; resubmitting after
+    /// draining is safe.
     Overloaded {
         /// Queue depth at rejection time.
         queue_len: usize,
         /// The bound that was hit.
         max_queue: usize,
+    },
+    /// The submission named a [`TenantId`] the admission policy does not
+    /// register. Only possible with tenancy active; no ticket was
+    /// consumed.
+    UnknownTenant(TenantId),
+    /// The tenant's queued submissions sit at its
+    /// [`TenantSpec::quota`]; the submission was rejected before a
+    /// ticket was issued. Resubmitting after the tenant's backlog drains
+    /// is safe.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// The quota that was hit.
+        quota: u32,
+    },
+    /// A wire frame failed to decode (unknown kind, bad payload, rejected
+    /// credential, …). The typed fault says what was wrong; the
+    /// connection stays usable — a malformed frame is answered, never
+    /// dropped.
+    MalformedFrame(WireFault),
+    /// A wire frame carried an unsupported protocol version; the peer
+    /// must speak [`WIRE_VERSION`].
+    ProtocolVersion {
+        /// The version byte the peer sent.
+        got: u8,
     },
 }
 
@@ -205,6 +260,17 @@ impl std::fmt::Display for ServeError {
                 queue_len,
                 max_queue,
             } => write!(f, "overloaded: queue {queue_len} at max_queue {max_queue}"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown {t}"),
+            ServeError::QuotaExceeded { tenant, quota } => {
+                write!(f, "{tenant} over quota {quota}")
+            }
+            ServeError::MalformedFrame(fault) => write!(f, "malformed frame: {fault}"),
+            ServeError::ProtocolVersion { got } => {
+                write!(
+                    f,
+                    "protocol version {got} unsupported (speak {WIRE_VERSION})"
+                )
+            }
         }
     }
 }

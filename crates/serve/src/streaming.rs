@@ -11,9 +11,9 @@
 //!
 //! ## Admission
 //!
-//! [`AdmissionPolicy`] is built with [`AdmissionPolicy::builder`] (the
-//! legacy `new`/`with_*` constructors survive as deprecated shims over
-//! the builder). It has two batching knobs:
+//! [`AdmissionPolicy`] is built with [`AdmissionPolicy::builder`] — the
+//! builder is the *only* construction surface (the PR-7 deprecated
+//! `new`/`with_*` shims are gone). It has two batching knobs:
 //!
 //! * `max_batch` — the largest micro-batch one dispatch may carry;
 //! * `max_queue` — the queue depth that triggers automatic dispatch: when a
@@ -24,6 +24,53 @@
 //! [`StreamingServer::flush`] and [`StreamingServer::drain`] dispatch
 //! eagerly without waiting for the threshold; a drain's final micro-batch
 //! simply carries whatever is left (possibly a single query).
+//!
+//! ## Tenancy and fair-share composition
+//!
+//! Registering tenants on the builder
+//! ([`AdmissionPolicyBuilder::tenant`]) activates multi-tenant admission;
+//! with no tenants registered and [`FairShare::Fifo`] composition (the
+//! defaults) the tenancy machinery is completely inert and the server
+//! executes the exact pre-tenancy charge sequence (pinned by
+//! `costs_golden.json`). When active:
+//!
+//! * [`StreamingServer::submit_as`] names the submitting [`TenantId`]
+//!   (plain [`StreamingServer::submit`] maps to [`TenantId::DEFAULT`]).
+//!   Each submission charges [`TENANT_ADMIT_OPS`] unit operations for the
+//!   tenant lookup + quota check; an unknown tenant is rejected with
+//!   [`crate::ServeError::UnknownTenant`], a tenant whose *queued* count
+//!   sits at its [`TenantSpec::quota`] with
+//!   [`crate::ServeError::QuotaExceeded`] — both before a ticket is
+//!   issued, so rejections never perturb delivery order.
+//! * Under [`FairShare::DeficitRoundRobin`] each tenant has its own
+//!   submission queue and micro-batches are composed by deficit round
+//!   robin: every composition round credits each backlogged tenant
+//!   `quantum × weight` deficit (visiting it charges [`DRR_VISIT_OPS`]
+//!   unit operations on the flushing ledger) and takes its oldest
+//!   queries while deficit lasts, so sustained dispatch divides
+//!   proportionally to weight regardless of arrival skew. A tenant whose
+//!   queue empties forfeits its remaining deficit. The visit sequence —
+//!   and therefore every charge — is a pure function of the submission
+//!   sequence, bit-identical across `WEC_THREADS`.
+//! * In-order delivery becomes **per tenant**: [`StreamingServer::try_next`]
+//!   yields the smallest deliverable ticket whose tenant has no older
+//!   undelivered ticket, so each tenant observes its own submission order
+//!   while no tenant's backlog can block another tenant's answers.
+//!   (Single-tenant/inactive servers keep the global submission order —
+//!   the two coincide.)
+//!
+//! Per-tenant counters surface through [`StreamingServer::tenant_stats`]
+//! and the aggregate [`crate::TenancyStats`] snapshot.
+//!
+//! ## Stats snapshots
+//!
+//! Every cumulative counter family the server keeps is exposed through
+//! one idiom: a cheap copyable stats struct returned by a `*_stats(&self)`
+//! method, unified under the [`crate::Snapshot`] trait —
+//! [`CacheStats`] ([`StreamingServer::cache_stats`], per shard via
+//! [`StreamingServer::shard_cache_stats`]), [`crate::RobustnessStats`],
+//! [`crate::EpochStats`], and [`crate::TenancyStats`]. Snapshots are
+//! read-only, poison-tolerant, and never charge the ledger.
 //!
 //! ## The per-shard result cache
 //!
@@ -255,7 +302,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use wec_asym::{
-    Ledger, LedgerScope, EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS,
+    Ledger, LedgerScope, DRR_VISIT_OPS, EPOCH_INSTALL_OPS, INVALIDATE_ENTRY_WRITES,
+    INVALIDATE_SCAN_OPS, TENANT_ADMIT_OPS,
 };
 use wec_biconnectivity::BiconnQueryKey;
 use wec_connectivity::{ComponentId, ComponentOverlay, GraphDelta};
@@ -265,7 +313,8 @@ use crate::cache::{CacheKey, CacheVal, ShardCache};
 use crate::epoch::{EpochStats, EpochTracker};
 use crate::fault::{BreakerState, FaultPlan, RecoveryPolicy, RobustnessStats, ShardHealth};
 use crate::handle::{DeltaOracle, NoBiconn, OracleHandle};
-use crate::{Answer, Query, ServeError, ServeResult, ShardedServer, QUERY_WORDS};
+use crate::tenant::{FairShare, TenancyStats, TenantId, TenantSpec, TenantStats};
+use crate::{Answer, Query, ServeError, ServeResult, ShardedServer, Snapshot, QUERY_WORDS};
 
 /// Asymmetric reads charged per result-cache probe (hash the key, inspect
 /// its bucket).
@@ -393,7 +442,7 @@ pub fn query_work_estimate(q: Query, omega: u64) -> u64 {
 /// assert!(stats.evictions > 0, "churn past capacity must evict");
 /// assert!(stats.hits > stats.misses, "per-phase hot keys keep hitting");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Largest micro-batch a single dispatch may carry (at least 1).
     pub max_batch: usize,
@@ -416,6 +465,14 @@ pub struct AdmissionPolicy {
     /// micro-batch before the query that would exceed it (always admitting
     /// at least one), acting as a per-batch deadline in model time.
     pub op_budget: u64,
+    /// How micro-batches are composed from admitted submissions (default:
+    /// [`FairShare::Fifo`], the pre-tenancy single shared queue).
+    pub fair_share: FairShare,
+    /// The registered tenants, in deterministic fair-share visit order.
+    /// Empty (the default) means tenancy is inactive — unless a non-FIFO
+    /// `fair_share` is selected, in which case [`StreamingServer::new`]
+    /// auto-registers the [`TenantId::DEFAULT`] tenant.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl AdmissionPolicy {
@@ -427,52 +484,6 @@ impl AdmissionPolicy {
         AdmissionPolicyBuilder {
             policy: AdmissionPolicy::default(),
         }
-    }
-
-    /// A policy with the given batching knobs (clamped to at least 1) and
-    /// the default cache capacity, routing, and eviction policy.
-    #[deprecated(note = "use AdmissionPolicy::builder().max_batch(..).max_queue(..).build()")]
-    pub fn new(max_batch: usize, max_queue: usize) -> Self {
-        AdmissionPolicy::builder()
-            .max_batch(max_batch)
-            .max_queue(max_queue)
-            .build()
-    }
-
-    /// The same policy with a per-shard cache budget (0 disables caching).
-    #[deprecated(note = "use AdmissionPolicyBuilder::cache_capacity")]
-    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
-        self.cache_capacity = cache_capacity;
-        self
-    }
-
-    /// The same policy with the given shard [`Routing`].
-    #[deprecated(note = "use AdmissionPolicyBuilder::routing")]
-    pub fn with_routing(mut self, routing: Routing) -> Self {
-        self.routing = routing;
-        self
-    }
-
-    /// The same policy with the given [`Eviction`] policy.
-    #[deprecated(note = "use AdmissionPolicyBuilder::eviction")]
-    pub fn with_eviction(mut self, eviction: Eviction) -> Self {
-        self.eviction = eviction;
-        self
-    }
-
-    /// The same policy with the given [`Overflow`] behaviour.
-    #[deprecated(note = "use AdmissionPolicyBuilder::overflow")]
-    pub fn with_overflow(mut self, overflow: Overflow) -> Self {
-        self.overflow = overflow;
-        self
-    }
-
-    /// The same policy with a per-batch estimated-work budget (0
-    /// disables).
-    #[deprecated(note = "use AdmissionPolicyBuilder::op_budget")]
-    pub fn with_op_budget(mut self, op_budget: u64) -> Self {
-        self.op_budget = op_budget;
-        self
     }
 }
 
@@ -493,7 +504,7 @@ impl AdmissionPolicy {
 /// assert_eq!((p.max_batch, p.cache_capacity), (16, 64));
 /// assert_eq!(p.eviction, Eviction::Clock, "untouched knobs keep defaults");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionPolicyBuilder {
     policy: AdmissionPolicy,
 }
@@ -543,8 +554,36 @@ impl AdmissionPolicyBuilder {
         self
     }
 
+    /// How micro-batches are composed from admitted submissions.
+    pub fn fair_share(mut self, fair_share: FairShare) -> Self {
+        self.policy.fair_share = fair_share;
+        self
+    }
+
+    /// Register one tenant. Registration order is the deterministic order
+    /// fair-share composition visits tenants in.
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.policy.tenants.push(spec);
+        self
+    }
+
+    /// Register several tenants at once (appended in iteration order).
+    pub fn tenants(mut self, specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        self.policy.tenants.extend(specs);
+        self
+    }
+
     /// The finished policy.
+    ///
+    /// # Panics
+    /// When two registered tenants share a [`TenantId`] — a programming
+    /// error the admission table cannot represent.
     pub fn build(self) -> AdmissionPolicy {
+        for (i, a) in self.policy.tenants.iter().enumerate() {
+            for b in &self.policy.tenants[i + 1..] {
+                assert!(a.id != b.id, "duplicate tenant id {}", a.id);
+            }
+        }
         self.policy
     }
 }
@@ -559,6 +598,8 @@ impl Default for AdmissionPolicy {
             eviction: Eviction::Clock,
             overflow: Overflow::DispatchInline,
             op_budget: 0,
+            fair_share: FairShare::Fifo,
+            tenants: Vec::new(),
         }
     }
 }
@@ -640,11 +681,31 @@ pub struct StreamingServer<C, B = NoBiconn> {
     server: ShardedServer<C, B>,
     policy: AdmissionPolicy,
     caches: Vec<Mutex<ShardCache>>,
-    /// Admitted queries tagged `(ticket, submission epoch, query)`.
-    queue: VecDeque<(u64, u64, Query)>,
+    /// The shared FIFO submission queue ([`FairShare::Fifo`]; always the
+    /// path when tenancy is inactive).
+    queue: VecDeque<Entry>,
+    /// Per-tenant submission queues ([`FairShare::DeficitRoundRobin`];
+    /// empty vec otherwise).
+    tenant_queues: Vec<VecDeque<Entry>>,
+    /// Per-tenant DRR deficit counters (parallel to `policy.tenants`).
+    deficits: Vec<u64>,
+    /// Per-tenant queued (admitted, undispatched) counts for quota
+    /// enforcement (parallel to `policy.tenants`; empty when inactive).
+    queued_per_tenant: Vec<usize>,
+    /// Per-tenant pending-delivery tickets in submission order (parallel
+    /// to `policy.tenants`; empty when inactive).
+    deliver_queues: Vec<VecDeque<u64>>,
+    /// Per-tenant admission counters (parallel to `policy.tenants`).
+    tenant_stats: Vec<TenantStats>,
+    /// Cumulative DRR queue visits charged (`DRR_VISIT_OPS` each).
+    drr_visits: u64,
     ready: BTreeMap<u64, ServeResult>,
     next_ticket: u64,
     next_deliver: u64,
+    /// Answers delivered so far (equals `next_deliver` when tenancy is
+    /// inactive; under per-tenant delivery the global `next_deliver`
+    /// cursor no longer advances).
+    delivered_total: u64,
     fault: Option<FaultPlan>,
     recovery: RecoveryPolicy,
     health: Vec<ShardHealth>,
@@ -656,6 +717,16 @@ pub struct StreamingServer<C, B = NoBiconn> {
     epochs: EpochTracker,
 }
 
+/// One admitted submission: ticket, submission epoch, owning tenant
+/// (index into `policy.tenants`; 0 when tenancy is inactive), query.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ticket: u64,
+    epoch: u64,
+    tenant: u16,
+    q: Query,
+}
+
 impl<C, B> StreamingServer<C, B>
 where
     C: OracleHandle<Key = Vertex, Answer = ComponentId>,
@@ -664,11 +735,18 @@ where
     /// A streaming front end dispatching through `server` under `policy`.
     /// One empty result cache is created per shard.
     pub fn new(server: ShardedServer<C, B>, policy: AdmissionPolicy) -> Self {
-        let policy = AdmissionPolicy {
+        let mut policy = AdmissionPolicy {
             max_batch: policy.max_batch.max(1),
             max_queue: policy.max_queue.max(1),
             ..policy
         };
+        // A fair-share policy with no registered tenants still needs a
+        // tenant table: serve everything as the default tenant.
+        if policy.fair_share != FairShare::Fifo && policy.tenants.is_empty() {
+            policy.tenants.push(TenantSpec::new(TenantId::DEFAULT.0));
+        }
+        let tenants = policy.tenants.len();
+        let drr = policy.fair_share != FairShare::Fifo;
         let shards = server.shards();
         let caches = (0..shards)
             .map(|_| Mutex::new(ShardCache::default()))
@@ -678,9 +756,18 @@ where
             policy,
             caches,
             queue: VecDeque::new(),
+            tenant_queues: (0..if drr { tenants } else { 0 })
+                .map(|_| VecDeque::new())
+                .collect(),
+            deficits: vec![0; if drr { tenants } else { 0 }],
+            queued_per_tenant: vec![0; tenants],
+            deliver_queues: (0..tenants).map(|_| VecDeque::new()).collect(),
+            tenant_stats: vec![TenantStats::default(); tenants],
+            drr_visits: 0,
             ready: BTreeMap::new(),
             next_ticket: 0,
             next_deliver: 0,
+            delivered_total: 0,
             fault: None,
             recovery: RecoveryPolicy::default(),
             health: vec![ShardHealth::default(); shards],
@@ -738,8 +825,43 @@ where
     }
 
     /// The admission policy in force.
-    pub fn policy(&self) -> AdmissionPolicy {
-        self.policy
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Whether multi-tenant admission is active (at least one tenant in
+    /// the policy's table — possibly the auto-registered default under a
+    /// fair-share policy). Inactive tenancy is charge-free.
+    pub fn tenancy_active(&self) -> bool {
+        !self.policy.tenants.is_empty()
+    }
+
+    /// One tenant's admission counters; `None` for an unregistered id.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        let i = self.tenant_index(tenant)?;
+        Some(self.tenant_stats[i])
+    }
+
+    /// Aggregate tenancy counters across all registered tenants.
+    pub fn tenancy_stats(&self) -> TenancyStats {
+        let mut agg = TenancyStats {
+            tenants: self.policy.tenants.len() as u64,
+            drr_visits: self.drr_visits,
+            ..TenancyStats::default()
+        };
+        for s in &self.tenant_stats {
+            agg.submitted += s.submitted;
+            agg.quota_rejections += s.quota_rejections;
+            agg.dispatched += s.dispatched;
+            agg.delivered += s.delivered;
+        }
+        agg
+    }
+
+    /// The position of `tenant` in the policy's registration-ordered
+    /// table, if registered.
+    fn tenant_index(&self, tenant: TenantId) -> Option<usize> {
+        self.policy.tenants.iter().position(|s| s.id == tenant)
     }
 
     /// The installed fault-injection plan, if any.
@@ -768,9 +890,15 @@ where
         self.dispatch_seq
     }
 
-    /// Queries admitted but not yet dispatched.
+    /// Queries admitted but not yet dispatched (summed across tenant
+    /// queues under fair-share composition).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        match self.policy.fair_share {
+            FairShare::Fifo => self.queue.len(),
+            FairShare::DeficitRoundRobin { .. } => {
+                self.tenant_queues.iter().map(VecDeque::len).sum()
+            }
+        }
     }
 
     /// Answers computed but not yet delivered through [`Self::try_next`].
@@ -801,25 +929,69 @@ where
     /// [`ServeError::Overloaded`] — no ticket is consumed, so accepted
     /// submissions keep consecutive tickets and in-order delivery.
     pub fn submit(&mut self, led: &mut Ledger, q: Query) -> Result<Ticket, ServeError> {
-        if self.policy.overflow == Overflow::Shed && self.queue.len() >= self.policy.max_queue {
+        self.submit_as(led, TenantId::DEFAULT, q)
+    }
+
+    /// Admit one query on behalf of `tenant`. With tenancy inactive this
+    /// is exactly [`StreamingServer::submit`] (the tenant is ignored and
+    /// nothing extra is charged). With tenancy active it first charges
+    /// [`TENANT_ADMIT_OPS`] for the tenant lookup + quota check and may
+    /// reject with [`ServeError::UnknownTenant`] or
+    /// [`ServeError::QuotaExceeded`] — both before a ticket is issued.
+    pub fn submit_as(
+        &mut self,
+        led: &mut Ledger,
+        tenant: TenantId,
+        q: Query,
+    ) -> Result<Ticket, ServeError> {
+        let tidx = if self.tenancy_active() {
+            led.op(TENANT_ADMIT_OPS);
+            let Some(tidx) = self.tenant_index(tenant) else {
+                return Err(ServeError::UnknownTenant(tenant));
+            };
+            let quota = self.policy.tenants[tidx].quota;
+            if quota > 0 && self.queued_per_tenant[tidx] >= quota as usize {
+                self.tenant_stats[tidx].quota_rejections += 1;
+                return Err(ServeError::QuotaExceeded { tenant, quota });
+            }
+            tidx
+        } else {
+            0
+        };
+        let queued = self.queue_len();
+        if self.policy.overflow == Overflow::Shed && queued >= self.policy.max_queue {
             self.robust.sheds += 1;
             return Err(ServeError::Overloaded {
-                queue_len: self.queue.len(),
+                queue_len: queued,
                 max_queue: self.policy.max_queue,
             });
         }
         let t = self.next_ticket;
         self.next_ticket += 1;
-        self.queue.push_back((t, self.epochs.current(), q));
+        let entry = Entry {
+            ticket: t,
+            epoch: self.epochs.current(),
+            tenant: tidx as u16,
+            q,
+        };
+        if self.tenancy_active() {
+            self.queued_per_tenant[tidx] += 1;
+            self.tenant_stats[tidx].submitted += 1;
+            self.deliver_queues[tidx].push_back(t);
+        }
+        match self.policy.fair_share {
+            FairShare::Fifo => self.queue.push_back(entry),
+            FairShare::DeficitRoundRobin { .. } => self.tenant_queues[tidx].push_back(entry),
+        }
         if self.policy.overflow == Overflow::DispatchInline {
-            while self.queue.len() >= self.policy.max_queue {
+            while self.queue_len() >= self.policy.max_queue {
                 self.flush(led);
             }
         }
         Ok(Ticket(t))
     }
 
-    /// How many queued queries the next micro-batch takes: up to
+    /// How many queued queries the next FIFO micro-batch takes: up to
     /// `max_batch`, shrunk further when a non-zero `op_budget` would be
     /// exceeded (always at least one while the queue is non-empty).
     fn next_batch_size(&self, omega: u64) -> usize {
@@ -829,8 +1001,8 @@ where
         }
         let mut total = 0u64;
         let mut take = 0usize;
-        for &(_, _, q) in self.queue.iter().take(max) {
-            total = total.saturating_add(query_work_estimate(q, omega));
+        for e in self.queue.iter().take(max) {
+            total = total.saturating_add(query_work_estimate(e.q, omega));
             if take > 0 && total > self.policy.op_budget {
                 break;
             }
@@ -839,17 +1011,84 @@ where
         take
     }
 
+    /// Compose the next micro-batch per the policy's [`FairShare`]: FIFO
+    /// takes the oldest `next_batch_size` submissions off the shared
+    /// queue; deficit round robin assembles the batch across tenant
+    /// queues, charging [`DRR_VISIT_OPS`] per queue visit on `led`.
+    fn compose_batch(&mut self, led: &mut Ledger) -> Vec<Entry> {
+        let omega = led.omega();
+        let quantum = match self.policy.fair_share {
+            FairShare::Fifo => {
+                let take = self.next_batch_size(omega);
+                return self.queue.drain(..take).collect();
+            }
+            FairShare::DeficitRoundRobin { quantum } => quantum.max(1) as u64,
+        };
+        let mut batch = Vec::new();
+        let mut visits = 0u64;
+        let mut work = 0u64;
+        'compose: while batch.len() < self.policy.max_batch {
+            let mut progressed = false;
+            for ti in 0..self.tenant_queues.len() {
+                if self.tenant_queues[ti].is_empty() {
+                    // An idle tenant forfeits its deficit: no banking
+                    // credit while there is nothing to schedule.
+                    self.deficits[ti] = 0;
+                    continue;
+                }
+                visits += 1;
+                self.deficits[ti] += quantum * u64::from(self.policy.tenants[ti].weight.max(1));
+                while self.deficits[ti] > 0 {
+                    let Some(front) = self.tenant_queues[ti].front() else {
+                        break;
+                    };
+                    if self.policy.op_budget > 0 {
+                        let est = query_work_estimate(front.q, omega);
+                        if !batch.is_empty() && work.saturating_add(est) > self.policy.op_budget {
+                            break 'compose;
+                        }
+                        work = work.saturating_add(est);
+                    }
+                    let e = self.tenant_queues[ti].pop_front().expect("front checked");
+                    self.deficits[ti] -= 1;
+                    batch.push(e);
+                    progressed = true;
+                    if batch.len() == self.policy.max_batch {
+                        break 'compose;
+                    }
+                }
+                if self.tenant_queues[ti].is_empty() {
+                    self.deficits[ti] = 0;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if visits > 0 {
+            led.op(visits * DRR_VISIT_OPS);
+            self.drr_visits += visits;
+        }
+        batch
+    }
+
     /// Dispatch one micro-batch of up to `max_batch` queued queries (fewer
     /// if the queue drains first, or if the policy's `op_budget` closes
-    /// the batch early). Returns how many were dispatched.
+    /// the batch early), composed per the policy's [`FairShare`]. Returns
+    /// how many were dispatched.
     pub fn flush(&mut self, led: &mut Ledger) -> usize {
-        let take = self.next_batch_size(led.omega());
-        if take == 0 {
+        let batch = self.compose_batch(led);
+        if batch.is_empty() {
             return 0;
         }
-        let batch: Vec<(u64, u64, Query)> = self.queue.drain(..take).collect();
+        if self.tenancy_active() {
+            for e in &batch {
+                self.tenant_stats[e.tenant as usize].dispatched += 1;
+                self.queued_per_tenant[e.tenant as usize] -= 1;
+            }
+        }
         self.dispatch(led, &batch);
-        take
+        batch.len()
     }
 
     /// Dispatch micro-batches until the queue is empty. Returns how many
@@ -865,16 +1104,53 @@ where
         }
     }
 
-    /// Deliver the next result **in submission order**: `Some` only when
-    /// the result for the oldest undelivered ticket has been computed.
+    /// Deliver the next result **in submission order**: with tenancy
+    /// inactive, `Some` only when the result for the globally oldest
+    /// undelivered ticket has been computed. With tenancy active the
+    /// order is **per tenant**: the smallest deliverable ticket whose
+    /// tenant has no older undelivered ticket is yielded, so every tenant
+    /// observes its own submission order and no tenant's backlog blocks
+    /// another tenant's answers. Both orders are deterministic.
     pub fn try_next(&mut self) -> Option<(Ticket, ServeResult)> {
-        let a = self.ready.remove(&self.next_deliver)?;
-        let t = Ticket(self.next_deliver);
-        self.next_deliver += 1;
-        // Delivery advanced: overlays of epochs it has fully passed are
-        // unreachable and can be retired.
-        self.epochs.prune(self.next_deliver);
-        Some((t, a))
+        if !self.tenancy_active() {
+            let a = self.ready.remove(&self.next_deliver)?;
+            let t = Ticket(self.next_deliver);
+            self.next_deliver += 1;
+            self.delivered_total += 1;
+            // Delivery advanced: overlays of epochs it has fully passed
+            // are unreachable and can be retired.
+            self.epochs.prune(self.next_deliver);
+            return Some((t, a));
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (ti, dq) in self.deliver_queues.iter().enumerate() {
+            if let Some(&t) = dq.front() {
+                if self.ready.contains_key(&t) && best.is_none_or(|(b, _)| t < b) {
+                    best = Some((t, ti));
+                }
+            }
+        }
+        let (t, ti) = best?;
+        self.deliver_queues[ti].pop_front();
+        let a = self.ready.remove(&t).expect("readiness checked");
+        self.tenant_stats[ti].delivered += 1;
+        self.delivered_total += 1;
+        self.epochs.prune(self.delivery_floor());
+        Some((Ticket(t), a))
+    }
+
+    /// The oldest ticket that can still demand an answer: everything
+    /// below it has been delivered, so overlays of epochs entirely below
+    /// the floor are unreachable.
+    fn delivery_floor(&self) -> u64 {
+        if !self.tenancy_active() {
+            return self.next_deliver;
+        }
+        self.deliver_queues
+            .iter()
+            .filter_map(|q| q.front().copied())
+            .min()
+            .unwrap_or(self.next_ticket)
     }
 
     /// Deliver every consecutively-ready result in submission order.
@@ -984,13 +1260,7 @@ where
     /// contract: quarantine, health bookkeeping, the charged backoff
     /// ladder, then the degraded uncached recompute of every affected
     /// query, parked in the reorder buffer as usual.
-    fn recover_group(
-        &mut self,
-        led: &mut Ledger,
-        seq: u64,
-        shard: usize,
-        group: &[(u64, u64, Query)],
-    ) {
+    fn recover_group(&mut self, led: &mut Ledger, seq: u64, shard: usize, group: &[Entry]) {
         self.robust.panics_caught += 1;
         self.quarantine(shard);
         self.note_failure(seq, shard);
@@ -1008,15 +1278,15 @@ where
             }
             attempt += 1;
         }
-        for &(t, e, q) in group {
+        for e in group {
             led.read(QUERY_WORDS);
             // The degraded path answers through the entry's own epoch
             // overlay, like the healthy path (epoch 0's identity overlay
             // charges nothing, keeping the PR-6 recovery contract exact).
-            let overlay = self.epochs.overlay_arc(e);
-            let r = self.server.try_answer_one_in(led, &overlay, q);
+            let overlay = self.epochs.overlay_arc(e.epoch);
+            let r = self.server.try_answer_one_in(led, &overlay, e.q);
             self.robust.degraded_answers += 1;
-            self.park(t, r);
+            self.park(e.ticket, r);
         }
     }
 
@@ -1026,7 +1296,7 @@ where
     /// partitions contiguously over the surviving shards instead. Every
     /// shard chunk runs behind a panic-isolation boundary; failed chunks
     /// are recovered through [`StreamingServer::recover_group`].
-    fn dispatch(&mut self, led: &mut Ledger, batch: &[(u64, u64, Query)]) {
+    fn dispatch(&mut self, led: &mut Ledger, batch: &[Entry]) {
         self.dispatch_seq += 1;
         let seq = self.dispatch_seq;
         let n = batch.len();
@@ -1034,10 +1304,8 @@ where
         // Entries submitted under an older epoch dispatch as stragglers:
         // answered through their own epoch's retained overlay, uncached.
         let current_epoch = self.epochs.current();
-        self.epochs.stats.straggler_answers += batch
-            .iter()
-            .filter(|&&(_, e, _)| e != current_epoch)
-            .count() as u64;
+        self.epochs.stats.straggler_answers +=
+            batch.iter().filter(|e| e.epoch != current_epoch).count() as u64;
         // Breaker maintenance: cooled-down shards re-enter as probes.
         if self.recovery.breaker_threshold > 0 {
             for h in &mut self.health {
@@ -1076,9 +1344,9 @@ where
         };
         // The routing scan: hash every query's canonical key once.
         led.op(n as u64 * ROUTE_HASH_OPS);
-        let mut groups: Vec<Vec<(u64, u64, Query)>> = (0..s).map(|_| Vec::new()).collect();
-        for &(t, e, q) in batch {
-            groups[self.owner_shard(q)].push((t, e, q));
+        let mut groups: Vec<Vec<Entry>> = (0..s).map(|_| Vec::new()).collect();
+        for &e in batch {
+            groups[self.owner_shard(e.q)].push(e);
         }
         let max_group = groups.iter().map(Vec::len).max().unwrap_or(0);
         if max_group > skew_factor as usize * n.div_ceil(s) {
@@ -1134,13 +1402,7 @@ where
     /// `map[i]` against cache `map[i]`. With the identity map this is
     /// exactly the PR-3 contiguous path (cache bypassed at capacity 0);
     /// with a surviving-shards map it is the breaker's degraded routing.
-    fn dispatch_mapped(
-        &mut self,
-        led: &mut Ledger,
-        batch: &[(u64, u64, Query)],
-        map: &[usize],
-        seq: u64,
-    ) {
+    fn dispatch_mapped(&mut self, led: &mut Ledger, batch: &[Entry], map: &[usize], seq: u64) {
         let n = batch.len();
         let grain = n.div_ceil(map.len());
         let (server, caches, epochs) = (&self.server, &self.caches, &self.epochs);
@@ -1177,7 +1439,7 @@ where
                 ChunkOutcome::Panicked => {
                     let lo = i * grain;
                     let hi = ((i + 1) * grain).min(n);
-                    let group: Vec<(u64, u64, Query)> = batch[lo..hi].to_vec();
+                    let group: Vec<Entry> = batch[lo..hi].to_vec();
                     self.recover_group(led, seq, shard, &group);
                 }
             }
@@ -1272,9 +1534,9 @@ where
         }
         self.epochs.stats.invalidation_swept_slots += swept_total;
         self.epochs.stats.invalidated_entries += removed_total;
-        let in_flight = self.next_ticket - self.next_deliver;
+        let in_flight = self.next_ticket - self.delivered_total;
         let epoch = self.epochs.install(overlay, self.next_ticket, in_flight);
-        self.epochs.prune(self.next_deliver);
+        self.epochs.prune(self.delivery_floor());
         Some(epoch)
     }
 
@@ -1287,6 +1549,28 @@ where
             .unwrap_or_else(|| self.epochs.current())
     }
 }
+
+/// The one stats-snapshot idiom (see the module docs): every counter
+/// family the server keeps is a [`Snapshot`] implementation delegating to
+/// its `*_stats` method.
+macro_rules! impl_snapshot {
+    ($stats:ty, $method:ident) => {
+        impl<C, B> Snapshot<$stats> for StreamingServer<C, B>
+        where
+            C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+            B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+        {
+            fn snapshot(&self) -> $stats {
+                self.$method()
+            }
+        }
+    };
+}
+
+impl_snapshot!(CacheStats, cache_stats);
+impl_snapshot!(RobustnessStats, robustness_stats);
+impl_snapshot!(EpochStats, epoch_stats);
+impl_snapshot!(TenancyStats, tenancy_stats);
 
 /// What one isolated shard chunk produced.
 enum ChunkOutcome {
@@ -1309,7 +1593,7 @@ fn run_chunk<C, B>(
     server: &ShardedServer<C, B>,
     scope: &mut LedgerScope,
     cache_mutex: &Mutex<ShardCache>,
-    group: &[(u64, u64, Query)],
+    group: &[Entry],
     cap: usize,
     eviction: Eviction,
     fault: Option<FaultPlan>,
@@ -1342,14 +1626,14 @@ where
         let current_epoch = epochs.current();
         let overlay = epochs.current_overlay();
         let mut out = Vec::with_capacity(group.len());
-        for &(t, e, q) in group {
-            let r = if e != current_epoch {
+        for e in group {
+            let r = if e.epoch != current_epoch {
                 // Straggler: in flight across an install. Answer uncached
                 // through its own epoch's retained overlay, so the ticket
                 // resolves against the graph version it was submitted to.
-                server.try_answer_one_in(scope.ledger(), epochs.overlay_for(e), q)
+                server.try_answer_one_in(scope.ledger(), epochs.overlay_for(e.epoch), e.q)
             } else if cap == 0 {
-                server.try_answer_one_in(scope.ledger(), overlay, q)
+                server.try_answer_one_in(scope.ledger(), overlay, e.q)
             } else {
                 answer_cached(
                     server,
@@ -1358,10 +1642,10 @@ where
                     cap,
                     eviction,
                     overlay,
-                    q,
+                    e.q,
                 )
             };
-            out.push((t, r));
+            out.push((e.ticket, r));
         }
         cache.tally.flush(scope);
         out
@@ -1518,15 +1802,8 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder() {
-        let old = AdmissionPolicy::new(8, 32)
-            .with_cache_capacity(2)
-            .with_routing(Routing::Contiguous)
-            .with_eviction(Eviction::FillUntilFull)
-            .with_overflow(Overflow::Shed)
-            .with_op_budget(99);
-        let new = AdmissionPolicy::builder()
+    fn builder_sets_every_knob_and_clamps() {
+        let p = AdmissionPolicy::builder()
             .max_batch(8)
             .max_queue(32)
             .cache_capacity(2)
@@ -1534,12 +1811,25 @@ mod tests {
             .eviction(Eviction::FillUntilFull)
             .overflow(Overflow::Shed)
             .op_budget(99)
+            .fair_share(FairShare::DRR)
+            .tenant(TenantSpec::new(1).weight(3).quota(10))
+            .tenant(TenantSpec::new(2))
             .build();
-        assert_eq!(old, new, "shims and builder build identical policies");
-        // Both surfaces clamp the batching knobs to at least 1.
-        assert_eq!(
-            AdmissionPolicy::new(0, 0),
-            AdmissionPolicy::builder().max_batch(0).max_queue(0).build(),
-        );
+        assert_eq!((p.max_batch, p.max_queue, p.cache_capacity), (8, 32, 2));
+        assert_eq!(p.fair_share, FairShare::DeficitRoundRobin { quantum: 1 });
+        assert_eq!(p.tenants.len(), 2);
+        assert_eq!(p.tenants[0].weight, 3);
+        // The batching knobs clamp to at least 1 in the setters.
+        let clamped = AdmissionPolicy::builder().max_batch(0).max_queue(0).build();
+        assert_eq!((clamped.max_batch, clamped.max_queue), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant id")]
+    fn builder_rejects_duplicate_tenant_ids() {
+        let _ = AdmissionPolicy::builder()
+            .tenant(TenantSpec::new(7))
+            .tenant(TenantSpec::new(7))
+            .build();
     }
 }

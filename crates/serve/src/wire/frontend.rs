@@ -1,0 +1,473 @@
+//! The connection-serving front end: owns a
+//! [`StreamingServer`] and speaks the wire protocol
+//! over any [`Transport`], and maps per-connection backpressure onto the
+//! admission queue.
+//!
+//! ## Pump cycle
+//!
+//! [`Frontend::pump`] is one deterministic service round, sequential over
+//! connections in [`ConnId`] order:
+//!
+//! 1. **Ingest** — drain every connection's transport into its
+//!    [`FrameBuf`], decode, and handle each frame, charging
+//!    [`FRAME_DECODE_OPS`] per decode attempt (well-formed or not) on the
+//!    pumping ledger. `Hello` binds the connection to a tenant (checked
+//!    against the registered credential when tenancy is active);
+//!    `Request` is admitted through
+//!    [`StreamingServer::submit_as`](crate::StreamingServer::submit_as);
+//!    inbound `Answer`/`Error` frames are protocol violations
+//!    ([`WireFault::UnexpectedFrame`]).
+//! 2. **Dispatch** — one [`flush`](crate::StreamingServer::flush) if the
+//!    queue is non-empty.
+//! 3. **Deliver** — every deliverable result is encoded
+//!    ([`FRAME_ENCODE_OPS`] each) and sent to the connection that
+//!    submitted it.
+//!
+//! ## Windows as backpressure
+//!
+//! Each connection may have at most `window` requests in flight
+//! (submitted, answer not yet sent). A request over the window is
+//! answered with a typed [`ServeError::Overloaded`] error frame —
+//! `queue_len` reporting the connection's in-flight count and
+//! `max_queue` its window — and **never** a dropped byte: the connection
+//! stays synchronized and other connections keep submitting. The window
+//! defaults to the admission policy's `max_queue`, so a single
+//! connection cannot force the server-side
+//! [`Overflow::Shed`](crate::Overflow::Shed) path on its own.
+//!
+//! ## Faults
+//!
+//! Every failure is answered in-band: malformed frames, bad credentials,
+//! tenant rejections, and over-window requests each produce an error
+//! frame carrying the same [`ServeError`] the in-process API returns. A
+//! connection is only ever *closed* by its transport
+//! ([`TransportError`](super::TransportError) on send or receive); close
+//! is counted, buffered frames already
+//! received are still served, and undeliverable answers are dropped
+//! after accounting.
+
+use wec_asym::{FxHashMap, Ledger, FRAME_DECODE_OPS, FRAME_ENCODE_OPS};
+use wec_biconnectivity::BiconnQueryKey;
+use wec_connectivity::ComponentId;
+use wec_graph::Vertex;
+
+use super::codec::{encode_frame, Frame, FrameBuf, WireFault};
+use super::transport::Transport;
+use crate::streaming::StreamingServer;
+use crate::tenant::TenantId;
+use crate::{NoBiconn, OracleHandle, ServeError, Snapshot};
+
+/// Handle to one frontend connection, returned by [`Frontend::connect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(usize);
+
+impl ConnId {
+    /// The connection's slot index (connection order, 0-based).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Server-side state of one connection.
+struct Conn {
+    transport: Box<dyn Transport>,
+    rx: FrameBuf,
+    /// Tenant bound by `Hello`; unbound connections submit as
+    /// [`TenantId::DEFAULT`].
+    tenant: Option<TenantId>,
+    /// Requests admitted whose answer frame has not been sent.
+    in_flight: usize,
+    closed: bool,
+}
+
+/// Cumulative frontend counters ([`Frontend::frontend_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Frames decoded off connections (including ones that failed to
+    /// decode — every decode attempt of a complete frame counts).
+    pub frames_in: u64,
+    /// Frames written to connections (answers, errors, hello replies).
+    pub frames_out: u64,
+    /// Requests admitted into the streaming server.
+    pub admitted: u64,
+    /// Requests rejected because the connection's window was full.
+    pub rejected_window: u64,
+    /// Requests rejected by admission itself (shed, unknown tenant,
+    /// quota).
+    pub rejected_admission: u64,
+    /// Complete frames that failed to decode, plus inbound
+    /// `Answer`/`Error` protocol violations.
+    pub malformed_frames: u64,
+    /// `Hello` frames that bound a tenant.
+    pub hellos_accepted: u64,
+    /// `Hello` frames rejected (unknown tenant or bad credential).
+    pub hellos_rejected: u64,
+    /// Answer frames (including per-ticket error results) delivered to a
+    /// live connection.
+    pub answers_delivered: u64,
+    /// Frames that could not be written because the transport failed.
+    pub send_failures: u64,
+    /// Connections observed closed (each connection counts once).
+    pub conns_closed: u64,
+}
+
+/// What one [`Frontend::pump`] round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Complete frames decoded this round.
+    pub frames_in: usize,
+    /// Requests admitted this round.
+    pub admitted: usize,
+    /// Queries dispatched to shards this round.
+    pub dispatched: usize,
+    /// Answer/error results delivered (sent or dropped-at-close) this
+    /// round.
+    pub delivered: usize,
+}
+
+impl PumpReport {
+    fn merge(&mut self, other: PumpReport) {
+        self.frames_in += other.frames_in;
+        self.admitted += other.admitted;
+        self.dispatched += other.dispatched;
+        self.delivered += other.delivered;
+    }
+
+    fn idle(&self) -> bool {
+        *self == PumpReport::default()
+    }
+}
+
+/// Encode and send one frame, charging [`FRAME_ENCODE_OPS`]. A transport
+/// failure closes the connection (counted once); the charge stands —
+/// the encode work happened.
+fn send_frame(conn: &mut Conn, led: &mut Ledger, stats: &mut FrontendStats, frame: &Frame) -> bool {
+    led.op(FRAME_ENCODE_OPS);
+    if conn.closed {
+        return false;
+    }
+    match conn.transport.send(&encode_frame(frame)) {
+        Ok(()) => {
+            stats.frames_out += 1;
+            true
+        }
+        Err(_) => {
+            stats.send_failures += 1;
+            stats.conns_closed += 1;
+            conn.closed = true;
+            false
+        }
+    }
+}
+
+/// The wire-protocol front end over a [`StreamingServer`].
+///
+/// ```
+/// # use wec_asym::Ledger;
+/// # use wec_connectivity::{ConnectivityOracle, OracleBuildOpts};
+/// # use wec_graph::{gen, Priorities};
+/// use wec_serve::{
+///     encode_frame, loopback_pair, AdmissionPolicy, Frame, FrameBuf, Frontend, Query,
+///     ShardedServer, StreamingServer, Transport,
+/// };
+///
+/// # let g = gen::grid(4, 4);
+/// # let pri = Priorities::random(16, 1);
+/// # let verts: Vec<u32> = (0..16).collect();
+/// # let mut led = Ledger::new(16);
+/// # let oracle = ConnectivityOracle::build(
+/// #     &mut led, &g, &pri, &verts, 2, 1, OracleBuildOpts::default());
+/// let server = StreamingServer::new(
+///     ShardedServer::new(oracle.query_handle(), 2),
+///     AdmissionPolicy::builder().build(),
+/// );
+/// let mut fe = Frontend::new(server);
+/// let (mut client, server_end) = loopback_pair();
+/// fe.connect(Box::new(server_end));
+///
+/// // The client writes a request frame; one pump ingests, dispatches,
+/// // and writes the answer frame back.
+/// let q = Query::Connected(0, 15);
+/// client.send(&encode_frame(&Frame::Request { query: q })).unwrap();
+/// fe.pump(&mut led);
+///
+/// let mut rx = FrameBuf::default();
+/// let mut buf = [0u8; 256];
+/// let n = client.recv(&mut buf).unwrap();
+/// rx.extend(&buf[..n]);
+/// match rx.next_frame() {
+///     Some(Ok(Frame::Answer { ticket, answer })) => {
+///         assert_eq!(ticket, 0);
+///         assert_eq!(answer.as_bool(), Some(true), "the grid is connected");
+///     }
+///     other => panic!("expected an answer frame, got {other:?}"),
+/// }
+/// ```
+pub struct Frontend<C, B = NoBiconn> {
+    server: StreamingServer<C, B>,
+    conns: Vec<Conn>,
+    /// Which connection submitted each in-flight ticket.
+    ticket_conn: FxHashMap<u64, usize>,
+    window: usize,
+    stats: FrontendStats,
+}
+
+impl<C, B> Frontend<C, B>
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
+    /// Wrap `server`; the per-connection window defaults to the
+    /// admission policy's `max_queue`.
+    pub fn new(server: StreamingServer<C, B>) -> Self {
+        let window = server.policy().max_queue;
+        Frontend {
+            server,
+            conns: Vec::new(),
+            ticket_conn: FxHashMap::default(),
+            window: window.max(1),
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Set the per-connection in-flight window (clamped to at least 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The per-connection in-flight window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Attach a connection; it is served on every subsequent pump, in
+    /// connection order.
+    pub fn connect(&mut self, transport: Box<dyn Transport>) -> ConnId {
+        self.conns.push(Conn {
+            transport,
+            rx: FrameBuf::default(),
+            tenant: None,
+            in_flight: 0,
+            closed: false,
+        });
+        ConnId(self.conns.len() - 1)
+    }
+
+    /// Requests admitted on `conn` whose answer has not been sent.
+    pub fn conn_in_flight(&self, conn: ConnId) -> usize {
+        self.conns[conn.0].in_flight
+    }
+
+    /// Whether `conn`'s transport has failed.
+    pub fn conn_closed(&self, conn: ConnId) -> bool {
+        self.conns[conn.0].closed
+    }
+
+    /// The owned streaming server.
+    pub fn server(&self) -> &StreamingServer<C, B> {
+        &self.server
+    }
+
+    /// Mutable access to the owned streaming server (e.g. to apply
+    /// [`GraphDelta`](crate::GraphDelta) mutations between pumps).
+    pub fn server_mut(&mut self) -> &mut StreamingServer<C, B> {
+        &mut self.server
+    }
+
+    /// Cumulative frontend counters.
+    pub fn frontend_stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// One service round: ingest every connection, dispatch at most one
+    /// micro-batch, deliver every deliverable answer. Deterministic —
+    /// connections are served in [`ConnId`] order and every charge lands
+    /// on `led` in a fixed sequence, so wire-served costs are
+    /// bit-identical across `WEC_THREADS`.
+    pub fn pump(&mut self, led: &mut Ledger) -> PumpReport {
+        let mut report = PumpReport::default();
+        let Frontend {
+            server,
+            conns,
+            ticket_conn,
+            window,
+            stats,
+        } = self;
+
+        // 1. Ingest: bytes → frames → handling, per connection.
+        let mut buf = [0u8; 1024];
+        for (ci, conn) in conns.iter_mut().enumerate() {
+            loop {
+                match conn.transport.recv(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => conn.rx.extend(&buf[..n]),
+                    Err(_) => {
+                        if !conn.closed {
+                            stats.conns_closed += 1;
+                            conn.closed = true;
+                        }
+                        break;
+                    }
+                }
+            }
+            while let Some(decoded) = conn.rx.next_frame() {
+                led.op(FRAME_DECODE_OPS);
+                report.frames_in += 1;
+                stats.frames_in += 1;
+                match decoded {
+                    Ok(Frame::Hello { tenant, credential }) => {
+                        let verdict = if !server.tenancy_active() {
+                            Ok(())
+                        } else {
+                            match server.policy().tenants.iter().find(|s| s.id == tenant) {
+                                None => Err(ServeError::UnknownTenant(tenant)),
+                                Some(spec) if spec.credential != credential => {
+                                    Err(ServeError::MalformedFrame(WireFault::BadCredential))
+                                }
+                                Some(_) => Ok(()),
+                            }
+                        };
+                        match verdict {
+                            Ok(()) => {
+                                conn.tenant = Some(tenant);
+                                stats.hellos_accepted += 1;
+                            }
+                            Err(error) => {
+                                stats.hellos_rejected += 1;
+                                send_frame(
+                                    conn,
+                                    led,
+                                    stats,
+                                    &Frame::Error {
+                                        ticket: None,
+                                        error,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Ok(Frame::Request { query }) => {
+                        if conn.in_flight >= *window {
+                            stats.rejected_window += 1;
+                            send_frame(
+                                conn,
+                                led,
+                                stats,
+                                &Frame::Error {
+                                    ticket: None,
+                                    error: ServeError::Overloaded {
+                                        queue_len: conn.in_flight,
+                                        max_queue: *window,
+                                    },
+                                },
+                            );
+                            continue;
+                        }
+                        let tenant = conn.tenant.unwrap_or(TenantId::DEFAULT);
+                        match server.submit_as(led, tenant, query) {
+                            Ok(ticket) => {
+                                ticket_conn.insert(ticket.id(), ci);
+                                conn.in_flight += 1;
+                                report.admitted += 1;
+                                stats.admitted += 1;
+                            }
+                            Err(error) => {
+                                stats.rejected_admission += 1;
+                                send_frame(
+                                    conn,
+                                    led,
+                                    stats,
+                                    &Frame::Error {
+                                        ticket: None,
+                                        error,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Ok(Frame::Answer { .. } | Frame::Error { .. }) => {
+                        stats.malformed_frames += 1;
+                        send_frame(
+                            conn,
+                            led,
+                            stats,
+                            &Frame::Error {
+                                ticket: None,
+                                error: ServeError::MalformedFrame(WireFault::UnexpectedFrame),
+                            },
+                        );
+                    }
+                    Err(error) => {
+                        stats.malformed_frames += 1;
+                        send_frame(
+                            conn,
+                            led,
+                            stats,
+                            &Frame::Error {
+                                ticket: None,
+                                error,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // 2. Dispatch one micro-batch.
+        if server.queue_len() > 0 {
+            report.dispatched += server.flush(led);
+        }
+
+        // 3. Deliver everything deliverable.
+        while let Some((ticket, result)) = server.try_next() {
+            report.delivered += 1;
+            let Some(ci) = ticket_conn.remove(&ticket.id()) else {
+                // Submitted through the in-process API on `server_mut()`;
+                // not ours to answer.
+                continue;
+            };
+            let conn = &mut conns[ci];
+            conn.in_flight -= 1;
+            let frame = match result {
+                Ok(answer) => Frame::Answer {
+                    ticket: ticket.id(),
+                    answer,
+                },
+                Err(error) => Frame::Error {
+                    ticket: Some(ticket.id()),
+                    error,
+                },
+            };
+            if send_frame(conn, led, stats, &frame) {
+                stats.answers_delivered += 1;
+            }
+        }
+        report
+    }
+
+    /// Pump until the server is fully drained (empty queue, nothing
+    /// ready) and a further round would be a no-op. Returns the merged
+    /// report of every round.
+    pub fn drain(&mut self, led: &mut Ledger) -> PumpReport {
+        let mut total = PumpReport::default();
+        loop {
+            let round = self.pump(led);
+            let done = self.server.queue_len() == 0 && self.server.ready_len() == 0;
+            total.merge(round);
+            if done && round.idle() {
+                return total;
+            }
+        }
+    }
+}
+
+impl<C, B> Snapshot<FrontendStats> for Frontend<C, B>
+where
+    C: OracleHandle<Key = Vertex, Answer = ComponentId>,
+    B: OracleHandle<Key = BiconnQueryKey, Answer = bool>,
+{
+    fn snapshot(&self) -> FrontendStats {
+        self.frontend_stats()
+    }
+}

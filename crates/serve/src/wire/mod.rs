@@ -1,0 +1,62 @@
+//! The byte-protocol front end: a length-prefixed binary wire format for
+//! queries, answers, typed errors, and tenant credentials, behind a
+//! swappable [`Transport`] trait, with a [`Frontend`] that owns a
+//! [`StreamingServer`](crate::StreamingServer) and serves connections.
+//!
+//! ## Frame layout
+//!
+//! Every frame is one length-prefixed record:
+//!
+//! ```text
+//! ┌───────────┬──────────┬────────┬─────────────────────────┐
+//! │ len: u32  │ ver: u8  │ kind   │ payload (len − 2 bytes) │
+//! │ LE        │ = 1      │ u8     │ kind-specific, LE ints  │
+//! └───────────┴──────────┴────────┴─────────────────────────┘
+//! ```
+//!
+//! `len` counts everything after the prefix (version + kind + payload)
+//! and is capped at [`MAX_FRAME_BYTES`]. Frame kinds: `Hello` (tenant
+//! id and credential, binds a connection to a tenant), `Request` (one
+//! [`Query`](crate::Query)), `Answer` (ticket plus
+//! [`Answer`](crate::Answer)), `Error` (optional ticket plus
+//! [`ServeError`](crate::ServeError)). The full per-kind payload layout
+//! is documented in [`codec`].
+//!
+//! Decoding is *total*: any byte sequence either yields a frame or a
+//! typed [`crate::ServeError::MalformedFrame`] /
+//! [`crate::ServeError::ProtocolVersion`] — the server answers bad frames
+//! with an error frame instead of dropping bytes or killing the parse
+//! loop. An incomplete frame is simply not ready yet ([`FrameBuf`] waits
+//! for more bytes).
+//!
+//! ## Transports
+//!
+//! [`Transport`] is the narrow byte-pipe contract ([`Transport::send`] /
+//! [`Transport::recv`], both non-blocking). Two implementations ship:
+//! [`LoopbackTransport`] (paired in-process byte channels — what tests,
+//! benches, and CI use, so nothing here depends on sandbox networking)
+//! and [`TcpTransport`] (a non-blocking `std::net::TcpStream`; compiled
+//! always, exercised only where a real network exists — CI runs
+//! loopback-only).
+//!
+//! ## The frontend
+//!
+//! [`Frontend`] owns the [`StreamingServer`](crate::StreamingServer) and
+//! any number of connections. Each [`Frontend::pump`] ingests every
+//! connection's bytes, decodes and handles the frames (charging
+//! [`wec_asym::FRAME_DECODE_OPS`] per frame on the pumping ledger),
+//! dispatches at most one micro-batch, and writes out every deliverable
+//! answer as a frame ([`wec_asym::FRAME_ENCODE_OPS`] each). Connection
+//! windows map per-connection backpressure onto the admission queue: a
+//! connection with `window` requests in flight gets a typed `Overloaded`
+//! error frame for the overflow request — never a dropped byte — while
+//! other connections keep submitting. See [`frontend`] for the exact
+//! charge and windowing contract.
+
+pub mod codec;
+pub mod frontend;
+pub mod transport;
+
+pub use codec::{encode_frame, Frame, FrameBuf, WireFault, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use frontend::{ConnId, Frontend, FrontendStats, PumpReport};
+pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport, TransportError};

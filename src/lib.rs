@@ -31,9 +31,13 @@
 //!   delivery, per-shard result caches with affinity routing — repeat
 //!   keys always land on the shard holding their entry — and
 //!   deterministic CLOCK eviction, all under an exact, test-enforced
-//!   cost contract), and epoch-snapshot mutations (batched `GraphDelta`
+//!   cost contract), epoch-snapshot mutations (batched `GraphDelta`
 //!   edge insertions staged into the next epoch's overlay and installed
-//!   without ever blocking a read).
+//!   without ever blocking a read), and the wire-protocol front end:
+//!   a length-prefixed binary codec behind a swappable `Transport`
+//!   trait (in-process loopback; TCP), multi-tenant admission with
+//!   quotas and deficit-round-robin fair-share batch composition, and
+//!   per-connection windows mapped onto typed backpressure.
 //!
 //! ## Quickstart
 //!
