@@ -47,6 +47,7 @@
 
 pub mod array;
 pub mod cost;
+pub mod fusion;
 pub mod hash;
 pub mod ledger;
 pub mod mutation;
@@ -55,6 +56,7 @@ pub mod wire;
 
 pub use array::{AsymArray, AsymAtomicBitmap};
 pub use cost::Costs;
+pub use fusion::{FUSED_CONCAT_OPS, FUSED_EMIT_WRITES, FUSED_SLOT_OPS, FUSED_STAGE_OPS};
 pub use hash::{stable_combine, stable_mix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ledger::{
     CacheTally, Charge, CostTally, Grain, Ledger, LedgerScope, DEFAULT_CHUNKS_PER_WORKER,

@@ -42,7 +42,13 @@
 //! — deficit-round-robin fair share and a 4:2:1:1 weighted leg against
 //! the FIFO baseline, measuring per-tenant delivered share, p99 ticket
 //! latency in pump rounds, and throughput retained — and emits
-//! `BENCH_PR8.json`. Criterion wall-clock benches live in `benches/`.
+//! `BENCH_PR8.json`; `conn_writes` additionally runs the PR-9 A/B legs on
+//! its wall-clock graph — §4.2 with the materialized two-pass cross-edge
+//! filter vs the fused delayed-sequence pass vs the LDD + star-contraction
+//! fast path, reporting charged writes/edge and build wall-clock for each —
+//! and emits `BENCH_PR9.json` (override the path with
+//! `WEC_FUSION_BENCH_OUT`). Criterion wall-clock benches live in
+//! `benches/`.
 
 use std::time::Instant;
 use wec_asym::report::json;
@@ -162,6 +168,101 @@ impl BenchSnapshot {
     /// Write the snapshot to `path` (or the `WEC_BENCH_OUT` override).
     pub fn write(&self, path: &str) -> std::io::Result<String> {
         let path = std::env::var("WEC_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// The machine-readable fusion snapshot (`BENCH_PR9.json`): charged
+/// writes/edge and build wall-clock for the three connectivity build
+/// paths — §4.2 with the materialized two-pass cross-edge filter (the
+/// pre-PR-9 baseline), §4.2 with the fused delayed-sequence pass, and the
+/// LDD + star-contraction fast path — on the same graph and seed. The
+/// bench guard asserts `writes_per_edge_fused ≤
+/// writes_per_edge_materialized` and `writes_per_edge_star ≤
+/// writes_per_edge_materialized`, the paper's own metric applied to the
+/// build pipeline.
+#[derive(Debug, Clone)]
+pub struct FusionSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Edges of the benchmark graph.
+    pub m: u64,
+    /// Charged asymmetric writes per edge, §4.2 + materialized filter.
+    pub writes_per_edge_materialized: f64,
+    /// Charged asymmetric writes per edge, §4.2 + fused cross-edge pass.
+    pub writes_per_edge_fused: f64,
+    /// Charged asymmetric writes per edge, LDD + star contraction.
+    pub writes_per_edge_star: f64,
+    /// Median build wall-clock seconds, materialized leg.
+    pub build_seconds_materialized: f64,
+    /// Median build wall-clock seconds, fused leg.
+    pub build_seconds_fused: f64,
+    /// Median build wall-clock seconds, star leg.
+    pub build_seconds_star: f64,
+}
+
+impl FusionSnapshot {
+    /// Write reduction of the fused §4.2 leg vs the materialized baseline,
+    /// in percent of the baseline.
+    pub fn fused_write_reduction_pct(&self) -> f64 {
+        if self.writes_per_edge_materialized > 0.0 {
+            100.0 * (self.writes_per_edge_materialized - self.writes_per_edge_fused)
+                / self.writes_per_edge_materialized
+        } else {
+            0.0
+        }
+    }
+
+    /// Write reduction of the star fast path vs the materialized §4.2
+    /// baseline, in percent of the baseline.
+    pub fn star_write_reduction_pct(&self) -> f64 {
+        if self.writes_per_edge_materialized > 0.0 {
+            100.0 * (self.writes_per_edge_materialized - self.writes_per_edge_star)
+                / self.writes_per_edge_materialized
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("m", self.m)
+            .float(
+                "writes_per_edge_materialized",
+                self.writes_per_edge_materialized,
+            )
+            .float("writes_per_edge_fused", self.writes_per_edge_fused)
+            .float("writes_per_edge_star", self.writes_per_edge_star)
+            .float(
+                "build_seconds_materialized",
+                self.build_seconds_materialized,
+            )
+            .float("build_seconds_fused", self.build_seconds_fused)
+            .float("build_seconds_star", self.build_seconds_star)
+            .float(
+                "fused_write_reduction_pct",
+                self.fused_write_reduction_pct(),
+            )
+            .float("star_write_reduction_pct", self.star_write_reduction_pct())
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_FUSION_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_FUSION_BENCH_OUT").unwrap_or_else(|_| path.to_string());
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }

@@ -19,8 +19,13 @@ pub mod delta;
 pub mod oracle;
 pub mod par;
 pub mod spanning;
+pub mod star;
 
 pub use delta::{distinct_components, ComponentOverlay, GraphDelta, DELTA_SAMPLE_GRAIN};
 pub use oracle::{ComponentId, ConnQueryHandle, ConnectivityOracle, OracleBuildOpts};
-pub use par::{connectivity_csr, connectivity_general, ConnResult};
+pub use par::{
+    connectivity_csr, connectivity_csr_with, connectivity_general, connectivity_general_with,
+    ConnResult, CrossEdgePass,
+};
 pub use spanning::root_forest;
+pub use star::{star_connectivity, StarBuildOpts, StarOracle, StarQueryHandle};

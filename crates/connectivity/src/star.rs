@@ -1,0 +1,426 @@
+//! LDD + star-contraction connectivity — the fused fast path.
+//!
+//! The parlaylib exemplar composes LDD connectivity from delayed
+//! sequences: decompose, extract the cross-part edges *lazily* (no
+//! intermediate arrays), then finish the contracted multigraph with
+//! randomized **star contraction** instead of union-find. This module is
+//! that pipeline on the charged substrate, built entirely from the fused
+//! [`wec_prims::delayed`] layer:
+//!
+//! 1. one low-diameter decomposition with parameter β (steps 1–2 of §4.2,
+//!    shared with the paper-faithful path);
+//! 2. a fused `tabulate → flatten → collect` pass over the edge slots
+//!    producing the cross-part pairs — `edge_at` and the part comparison
+//!    run **once** per slot and the only writes are the `O(βm)` survivors;
+//! 3. star-contraction rounds on the contracted multigraph: each part
+//!    flips a deterministic coin (hashed from `(seed, round, part)`);
+//!    every tails-part with a heads neighbor links to its **minimum**
+//!    heads neighbor, then the edge list is relabeled and self-loops drop
+//!    out through another fused pass. Each round removes a constant
+//!    fraction of edges in expectation, so total relabel writes stay
+//!    `O(βm)`; each part links at most once ever, so link writes are
+//!    bounded by the part count.
+//!
+//! Compared to the paper-faithful §4.2 finish this skips the union-find
+//! state and — crucially — never materializes a spanning forest, so its
+//! build writes sit strictly below the materialized path's. The price is
+//! losing the forest output: [`StarOracle`] answers component queries
+//! only, which is exactly the serving stack's contract
+//! ([`StarQueryHandle`] mirrors [`ConnQueryHandle`](crate::ConnQueryHandle)'s
+//! query surface, so it drops into `wec-serve`'s sharded front end
+//! unchanged). Prefer the star path when only component labels are needed
+//! and writes are at a premium; prefer §4.2 when the spanning forest
+//! matters (biconnectivity needs it).
+
+use crate::oracle::ComponentId;
+use wec_asym::{stable_combine, FxHashMap, Ledger};
+use wec_graph::{Csr, Vertex};
+use wec_prims::delayed::{tabulate, Delayed};
+use wec_prims::low_diameter_decomposition;
+
+/// Build options for [`star_connectivity_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct StarBuildOpts {
+    /// Safety cap on contraction rounds; if the coin flips are pathological
+    /// enough to exhaust it (never observed — expected rounds are
+    /// `O(log parts)`), the remaining edges fall back to a sequential
+    /// link-and-compress sweep so the result is always exact.
+    pub max_rounds: usize,
+}
+
+impl Default for StarBuildOpts {
+    fn default() -> Self {
+        StarBuildOpts { max_rounds: 64 }
+    }
+}
+
+/// Component labeling produced by the star fast path. Owns its (dense)
+/// per-vertex labels — unlike the §4.3 oracle there is no decomposition to
+/// keep alive, so the struct borrows nothing.
+#[derive(Debug, Clone)]
+pub struct StarOracle {
+    /// Dense component label per vertex id (`u32::MAX` for ids the build
+    /// never saw).
+    labels: Vec<u32>,
+    num_components: usize,
+    num_parts: usize,
+    rounds: usize,
+}
+
+impl StarOracle {
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+
+    /// Number of LDD parts the contraction started from (diagnostics).
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Star-contraction rounds used (diagnostics).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Dense labels, indexed by vertex id (tests / diagnostics).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// A cheap copyable read-only view for serving queries — same shape as
+    /// [`ConnQueryHandle`](crate::ConnQueryHandle).
+    pub fn query_handle(&self) -> StarQueryHandle<'_> {
+        StarQueryHandle { oracle: self }
+    }
+
+    /// Component of `v`: one charged label read, **no writes**.
+    pub fn component(&self, led: &mut Ledger, v: Vertex) -> ComponentId {
+        self.query_handle().component(led, v)
+    }
+
+    /// Whether `u` and `v` are connected.
+    pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        self.query_handle().connected(led, u, v)
+    }
+}
+
+/// Deterministic coin for `(seed, round, node)`: `true` = heads. Pure
+/// compute from the pinned stable hash, so contraction is reproducible
+/// across runs, platforms, and thread counts.
+#[inline]
+fn heads(seed: u64, round: usize, node: u32) -> bool {
+    stable_combine(seed, ((round as u64) << 32) ^ node as u64) & 1 == 1
+}
+
+/// Star connectivity on a CSR graph with LDD parameter `beta` — default
+/// options. `beta = 1/ω` matches the paper-faithful path's write regime.
+pub fn star_connectivity(led: &mut Ledger, g: &Csr, beta: f64, seed: u64) -> StarOracle {
+    star_connectivity_with(led, g, beta, seed, StarBuildOpts::default())
+}
+
+/// [`star_connectivity`] with explicit [`StarBuildOpts`].
+pub fn star_connectivity_with(
+    led: &mut Ledger,
+    g: &Csr,
+    beta: f64,
+    seed: u64,
+    opts: StarBuildOpts,
+) -> StarOracle {
+    let n = g.n();
+    if n == 0 {
+        return StarOracle {
+            labels: Vec::new(),
+            num_components: 0,
+            num_parts: 0,
+            rounds: 0,
+        };
+    }
+    let vertices: Vec<Vertex> = (0..n as u32).collect();
+
+    // Steps 1–2: decompose; the LDD's internal BFS trees already connect
+    // each part, so only the cross-part structure is left to resolve.
+    let ldd = low_diameter_decomposition(led, g, &vertices, beta, seed);
+    let part = ldd.part;
+    let num_parts = ldd.centers.len();
+
+    // Step 3 (fused): cross-part pairs in one lazy pass — one edge read +
+    // two part reads + one comparison per slot, writes only for survivors.
+    let edges_list = g.edges();
+    let part_ref = &part;
+    let mut edges: Vec<(u32, u32)> = tabulate(edges_list.len(), |i, l| {
+        l.read(1);
+        let (u, v) = edges_list[i];
+        l.read(2);
+        let (pu, pv) = (part_ref[u as usize], part_ref[v as usize]);
+        (pu != pv).then_some((pu, pv))
+    })
+    .flatten()
+    .collect(led);
+
+    // Star contraction on the contracted multigraph. `p` is the parent
+    // pointer per part; a part links at most once ever (once linked it is
+    // relabeled out of the edge list), so link writes ≤ num_parts total.
+    let mut p: Vec<u32> = (0..num_parts as u32).collect();
+    led.write(num_parts as u64);
+    let mut rounds = 0usize;
+    while !edges.is_empty() && rounds < opts.max_rounds {
+        // Link pass: tails hook onto their minimum heads neighbor. Charges:
+        // two coin evaluations + the min-merge op per edge (endpoints are
+        // already in hand from the fused relabel pass), one write per part
+        // that actually links.
+        led.op(3 * edges.len() as u64);
+        let mut linked = 0u64;
+        for &(u, v) in &edges {
+            let (hu, hv) = (heads(seed, rounds, u), heads(seed, rounds, v));
+            if !hu && hv {
+                link_min(&mut p, u, v, &mut linked);
+            }
+            if !hv && hu {
+                link_min(&mut p, v, u, &mut linked);
+            }
+        }
+        led.write(linked);
+
+        // Relabel + drop self-loops, fused: tails just linked directly to
+        // heads (which stayed roots this round), so a single jump through
+        // `p` lands every endpoint on a live root.
+        let prev = std::mem::take(&mut edges);
+        let prev_ref = &prev;
+        let p_ref = &p;
+        edges = tabulate(prev_ref.len(), |i, l| {
+            l.read(2);
+            let (u, v) = prev_ref[i];
+            let (ru, rv) = (p_ref[u as usize], p_ref[v as usize]);
+            (ru != rv).then_some((ru, rv))
+        })
+        .flatten()
+        .collect(led);
+        rounds += 1;
+    }
+
+    // Fallback sweep (exactness guarantee if max_rounds ran out): link the
+    // remaining edges' roots sequentially, smaller root wins.
+    if !edges.is_empty() {
+        led.read(2 * edges.len() as u64);
+        for &(u, v) in &edges {
+            let (ru, rv) = (root_compress(led, &mut p, u), root_compress(led, &mut p, v));
+            if ru != rv {
+                p[ru.max(rv) as usize] = ru.min(rv);
+                led.write(1);
+            }
+        }
+    }
+
+    // Compress every part to its root (chains are at most `rounds` deep;
+    // path compression writes each part at most once), then densify the
+    // surviving roots into component labels.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    for pid in 0..num_parts as u32 {
+        let r = root_compress(led, &mut p, pid);
+        let next = dense.len() as u32;
+        dense.entry(r).or_insert_with(|| {
+            led.write(1);
+            next
+        });
+    }
+    led.op(num_parts as u64);
+
+    // Project to vertices — the same O(n) labeling tier §4.2 pays.
+    let mut labels = vec![u32::MAX; n];
+    led.read(vertices.len() as u64);
+    led.write(vertices.len() as u64);
+    for &v in &vertices {
+        labels[v as usize] = dense[&p[part[v as usize] as usize]];
+    }
+
+    StarOracle {
+        labels,
+        num_components: dense.len(),
+        num_parts,
+        rounds,
+    }
+}
+
+/// Hook tail `t` onto head `h`, keeping the minimum head if `t` already
+/// linked this round. Counts the first link (the only real write; later
+/// min-merges overwrite a value still in symmetric memory this round).
+#[inline]
+fn link_min(p: &mut [u32], t: u32, h: u32, linked: &mut u64) {
+    let cur = p[t as usize];
+    if cur == t {
+        p[t as usize] = h;
+        *linked += 1;
+    } else if h < cur {
+        p[t as usize] = h;
+    }
+}
+
+/// Root of `v` with full path compression, charging one read per hop and
+/// one write per pointer actually rewritten.
+fn root_compress(led: &mut Ledger, p: &mut [u32], v: u32) -> u32 {
+    let mut r = v;
+    let mut hops = 0u64;
+    while p[r as usize] != r {
+        r = p[r as usize];
+        hops += 1;
+    }
+    led.read(hops + 1);
+    let mut cur = v;
+    let mut rewrites = 0u64;
+    while p[cur as usize] != r {
+        let next = p[cur as usize];
+        p[cur as usize] = r;
+        cur = next;
+        rewrites += 1;
+    }
+    led.write(rewrites);
+    r
+}
+
+/// A borrowed, copyable query view over a built [`StarOracle`] — the
+/// serving-stack surface. Queries are read-only: one charged label read
+/// per vertex, no `ρ` re-derivation (the labels are dense), and the same
+/// pinned routing hash as every connectivity handle.
+pub struct StarQueryHandle<'o> {
+    oracle: &'o StarOracle,
+}
+
+impl Clone for StarQueryHandle<'_> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl Copy for StarQueryHandle<'_> {}
+
+impl<'o> StarQueryHandle<'o> {
+    /// The oracle this handle serves from.
+    pub fn oracle(&self) -> &'o StarOracle {
+        self.oracle
+    }
+
+    /// Component of `v`: one charged label read, **no writes**.
+    pub fn component(&self, led: &mut Ledger, v: Vertex) -> ComponentId {
+        led.read(1);
+        ComponentId::Labeled(self.oracle.labels[v as usize])
+    }
+
+    /// The [`ComponentId`] pair of `(u, v)` — the cacheable form, same
+    /// contract as [`ConnQueryHandle::component_pair`](crate::ConnQueryHandle::component_pair).
+    pub fn component_pair(
+        &self,
+        led: &mut Ledger,
+        u: Vertex,
+        v: Vertex,
+    ) -> (ComponentId, ComponentId) {
+        (self.component(led, u), self.component(led, v))
+    }
+
+    /// Whether `u` and `v` are connected.
+    pub fn connected(&self, led: &mut Ledger, u: Vertex, v: Vertex) -> bool {
+        let (a, b) = self.component_pair(led, u, v);
+        a == b
+    }
+
+    /// Stable routing hash — [`wec_asym::stable_mix64`], the pinned
+    /// contract shared with [`ConnQueryHandle`](crate::ConnQueryHandle) so
+    /// the star path routes identically under the sharded front end.
+    #[inline]
+    pub fn route_hash(&self, v: Vertex) -> u64 {
+        wec_asym::stable_mix64(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::connectivity_csr;
+    use wec_baseline::unionfind::{same_partition, uf_labels};
+    use wec_graph::gen::{disjoint_union, gnm, grid, path, random_regular, torus};
+
+    #[test]
+    fn matches_ground_truth_on_families() {
+        for (i, g) in [
+            gnm(400, 1000, 1),
+            gnm(300, 100, 2),
+            disjoint_union(&[&grid(7, 7), &torus(4, 5), &path(13)]),
+            random_regular(200, 4, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut led = Ledger::new(16);
+            let o = star_connectivity(&mut led, g, 1.0 / 16.0, i as u64);
+            assert!(same_partition(o.labels(), &uf_labels(g)), "graph {i}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_paper_faithful_path() {
+        for seed in 0..6u64 {
+            let g = gnm(500, 3000, seed);
+            let mut led_a = Ledger::new(16);
+            let star = star_connectivity(&mut led_a, &g, 1.0 / 16.0, seed);
+            let mut led_b = Ledger::new(16);
+            let paper = connectivity_csr(&mut led_b, &g, 1.0 / 16.0, seed);
+            assert!(
+                same_partition(star.labels(), &paper.labels),
+                "seed {seed}: star and §4.2 disagree"
+            );
+            assert_eq!(star.num_components(), paper.num_components);
+        }
+    }
+
+    #[test]
+    fn star_writes_below_paper_faithful() {
+        let g = gnm(1000, 40_000, 7);
+        let omega = 64u64;
+        let beta = 1.0 / omega as f64;
+        let mut led_star = Ledger::new(omega);
+        let o = star_connectivity(&mut led_star, &g, beta, 5);
+        assert_eq!(o.num_components(), 1);
+        let mut led_paper = Ledger::new(omega);
+        let r = connectivity_csr(&mut led_paper, &g, beta, 5);
+        assert_eq!(r.num_components, 1);
+        assert!(
+            led_star.costs().asym_writes < led_paper.costs().asym_writes,
+            "star {} !< paper-faithful {}",
+            led_star.costs().asym_writes,
+            led_paper.costs().asym_writes
+        );
+    }
+
+    #[test]
+    fn deterministic_costs_and_labels() {
+        let g = gnm(500, 2000, 9);
+        let run = |mut led: Ledger| {
+            let o = star_connectivity(&mut led, &g, 0.1, 4);
+            (o.labels().to_vec(), o.num_components(), led.costs())
+        };
+        assert_eq!(run(Ledger::new(16)), run(Ledger::sequential(16)));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let mut led = Ledger::new(8);
+        let o = star_connectivity(&mut led, &Csr::from_edges(0, &[]), 0.5, 1);
+        assert_eq!(o.num_components(), 0);
+        let o1 = star_connectivity(&mut led, &Csr::from_edges(3, &[]), 0.5, 1);
+        assert_eq!(o1.num_components(), 3);
+        assert!(!o1.connected(&mut led, 0, 2));
+        assert!(o1.connected(&mut led, 1, 1));
+    }
+
+    #[test]
+    fn queries_do_not_write() {
+        let g = grid(12, 12);
+        let mut led = Ledger::new(8);
+        let o = star_connectivity(&mut led, &g, 0.25, 2);
+        let w0 = led.costs().asym_writes;
+        for v in 0..g.n() as u32 {
+            let _ = o.component(&mut led, v);
+        }
+        assert_eq!(led.costs().asym_writes, w0);
+    }
+}

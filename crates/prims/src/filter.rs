@@ -1,10 +1,15 @@
 //! Write-efficient filter ("ordered filter" / pack of Ben-David et al.).
 //!
-//! The crucial property (used by the paper's §4.2 step 3 to compact
-//! cross-subset edges): the number of asymmetric-memory **writes** is
+//! The crucial property: the number of asymmetric-memory **writes** is
 //! proportional to the *output* size plus one write per block, not to the
 //! input size. Reads remain linear in the input. This is what makes
 //! `O(n + βm)` write bounds possible when only `βm` elements survive.
+//!
+//! Since PR 9, §4.2 step 3 compacts cross-subset edges through the fused
+//! [`delayed`](crate::delayed) layer by default — one predicate pass,
+//! writes only for the survivors, no block-offset writes — and this
+//! two-pass materialized pack remains the eager general-purpose variant
+//! (and the A/B baseline `conn_writes` measures the fused pass against).
 
 use crate::scan::block_offsets;
 use wec_asym::Ledger;
@@ -21,7 +26,10 @@ pub const FILTER_BLOCK: usize = 1024;
 /// `pred` is evaluated twice per index (count pass + emit pass) and must be
 /// deterministic; it charges its own evaluation cost to the ledger it is
 /// handed. On top of that this function charges one write per emitted index
-/// and one write per block (the block offsets).
+/// and one write per block (the block offsets). When the double evaluation
+/// or the block writes matter, prefer the fused
+/// [`Delayed::pack_index`](crate::delayed::Delayed::pack_index), which runs
+/// the predicate once and writes only the emitted indices.
 pub fn filter_indices(
     led: &mut Ledger,
     n: usize,

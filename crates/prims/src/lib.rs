@@ -10,6 +10,10 @@
 //! * [`scan`] — reduce and blocked prefix sums;
 //! * [`filter`] — write-efficient pack: writes proportional to the *output*
 //!   size (plus one write per block), not the input size;
+//! * [`delayed`] — charged delayed sequences (iterator fusion): lazy
+//!   `tabulate → map → filter → flatten` views that evaluate as a single
+//!   ledger-charged pass with asymmetric writes only at the terminal
+//!   `collect`/`pack_index`;
 //! * [`bfs`] — level-synchronous multi-source BFS over any
 //!   [`wec_graph::GraphView`] with O(reached) writes, supporting per-round
 //!   source injection (what the LDD needs);
@@ -24,6 +28,7 @@
 //! * [`list_rank`] — sampled two-level list ranking with O(n) writes.
 
 pub mod bfs;
+pub mod delayed;
 pub mod euler;
 pub mod filter;
 pub mod lca;
@@ -33,6 +38,7 @@ pub mod scan;
 pub mod tree_ops;
 
 pub use bfs::{multi_bfs, BfsResult, UNREACHED};
+pub use delayed::{tabulate, Delayed};
 pub use euler::{EulerTour, RootedForest};
 pub use lca::LcaIndex;
 pub use ldd::{low_diameter_decomposition, LddResult};

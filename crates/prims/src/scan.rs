@@ -5,6 +5,13 @@
 //! blocks one forked task processes is the scheduler's cost-invisible
 //! execution-grain choice (`wec_asym::Grain`), auto-sized from the pool's
 //! thread count.
+//!
+//! These passes materialize their outputs (that is their job — a scan's
+//! result *is* an array). When a scan only exists to glue pipeline stages
+//! together — count, offset, then emit — the fused
+//! [`delayed`](crate::delayed) layer skips the intermediate arrays and
+//! their writes entirely; [`block_offsets`] remains the write-efficient
+//! backbone of the eager [`crate::filter`].
 
 use wec_asym::Ledger;
 

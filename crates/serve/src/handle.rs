@@ -28,7 +28,9 @@ use std::hash::Hash;
 
 use wec_asym::Ledger;
 use wec_biconnectivity::{BiconnQueryHandle, BiconnQueryKey};
-use wec_connectivity::{ComponentId, ComponentOverlay, ConnQueryHandle, GraphDelta};
+use wec_connectivity::{
+    ComponentId, ComponentOverlay, ConnQueryHandle, GraphDelta, StarQueryHandle,
+};
 use wec_graph::{GraphView, Vertex};
 
 /// A copyable, read-only oracle query view the serving layer can route
@@ -75,6 +77,26 @@ impl<G: GraphView + Sync> OracleHandle for ConnQueryHandle<'_, '_, G> {
     #[inline]
     fn route_hash(&self, key: Vertex) -> u64 {
         ConnQueryHandle::route_hash(self, key)
+    }
+
+    fn answer_key(&self, led: &mut Ledger, key: Vertex) -> ComponentId {
+        self.component(led, key)
+    }
+}
+
+/// The star fast path serves through the same surface: dense-label reads
+/// instead of `ρ` re-derivation, identical key/answer types and the same
+/// pinned routing hash, so a [`StarOracle`](wec_connectivity::StarOracle)
+/// drops into `ShardedServer`/`StreamingServer` without touching dispatch.
+/// (It is read-only — no [`DeltaOracle`] impl — so the epoch mutation
+/// methods simply don't compile for it, by the bound.)
+impl OracleHandle for StarQueryHandle<'_> {
+    type Key = Vertex;
+    type Answer = ComponentId;
+
+    #[inline]
+    fn route_hash(&self, key: Vertex) -> u64 {
+        StarQueryHandle::route_hash(self, key)
     }
 
     fn answer_key(&self, led: &mut Ledger, key: Vertex) -> ComponentId {

@@ -1,0 +1,299 @@
+//! Differential lockdown of the PR-9 fused layer and the star fast path.
+//!
+//! Three families of properties, all replayable from the printed case
+//! context (seeded `SmallRng`, no proptest dependency):
+//!
+//! 1. **Labeling equivalence** — on randomized graphs and seeds, the
+//!    LDD + star-contraction builder produces a component partition
+//!    isomorphic to the paper-faithful §4.2 path's and to union-find
+//!    ground truth; the star handle also drops into the sharded serving
+//!    stack and answers exactly like its own one-by-one queries.
+//! 2. **Fusion output equivalence** — every fused pipeline
+//!    (`tabulate/map/filter/flatten/pack_index` compositions, including
+//!    empty inputs and all-pass/all-fail filters) is element-identical to
+//!    its materialized counterpart, and the fused §4.2 step 3 produces
+//!    bit-identical `ConnResult`s to the materialized one.
+//! 3. **Cost replays** — pinned exact `Costs` for a fixed fused pipeline
+//!    and its materialized counterpart (any drift in the fusion charge
+//!    contract fails the literals), fused writes strictly below
+//!    materialized writes, and bit-identical costs under
+//!    `Ledger::sequential` vs the rayon pool — CI runs this file at
+//!    `WEC_THREADS ∈ {1, 2, 8, 16}`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wec::asym::{Costs, Ledger};
+use wec::baseline::unionfind::{same_partition, uf_labels};
+use wec::connectivity::{connectivity_csr_with, star_connectivity, CrossEdgePass, StarOracle};
+use wec::graph::{gen, Csr, Vertex};
+use wec::prims::delayed::{tabulate, Delayed};
+use wec::prims::filter::{filter_indices, filter_map_collect};
+use wec::serve::{Answer, Query, ShardedServer};
+
+const CASES: usize = 32;
+const OMEGA: u64 = 16;
+
+/// Same random-graph recipe as `tests/proptests.rs`: degenerate edges
+/// (self-loops, duplicates) on purpose.
+fn random_graph(rng: &mut SmallRng) -> (Csr, u64) {
+    let n = rng.gen_range(2usize..48);
+    let max_m = (n * (n - 1) / 2).min(80);
+    let m = rng.gen_range(0usize..=max_m);
+    let edges: Vec<(Vertex, Vertex)> = (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    (Csr::from_edges(n, &edges), rng.gen::<u64>())
+}
+
+#[test]
+fn star_labeling_isomorphic_to_paper_faithful_and_ground_truth() {
+    let mut rng = SmallRng::seed_from_u64(0xf0_5109);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let beta_inv = rng.gen_range(1u64..32);
+        let beta = 1.0 / beta_inv as f64;
+        let mut led_star = Ledger::new(OMEGA);
+        let star = star_connectivity(&mut led_star, &g, beta, seed);
+        let mut led_paper = Ledger::new(OMEGA);
+        let paper = connectivity_csr_with(&mut led_paper, &g, beta, seed, CrossEdgePass::Fused);
+        assert!(
+            same_partition(star.labels(), &paper.labels),
+            "case {case} seed {seed} beta 1/{beta_inv}: star vs §4.2"
+        );
+        assert!(
+            same_partition(star.labels(), &uf_labels(&g)),
+            "case {case} seed {seed} beta 1/{beta_inv}: star vs ground truth"
+        );
+        assert_eq!(
+            star.num_components(),
+            paper.num_components,
+            "case {case} seed {seed}: component counts"
+        );
+    }
+}
+
+#[test]
+fn fused_step3_is_bit_identical_to_materialized_step3() {
+    let mut rng = SmallRng::seed_from_u64(0xf0_5110);
+    for case in 0..CASES {
+        let (g, seed) = random_graph(&mut rng);
+        let beta = 1.0 / rng.gen_range(1u64..32) as f64;
+        let mut led_f = Ledger::new(OMEGA);
+        let fused = connectivity_csr_with(&mut led_f, &g, beta, seed, CrossEdgePass::Fused);
+        let mut led_m = Ledger::new(OMEGA);
+        let mat = connectivity_csr_with(&mut led_m, &g, beta, seed, CrossEdgePass::Materialized);
+        // Same decomposition, same cross edges, same union order: the
+        // entire result must match element for element, not just up to
+        // isomorphism.
+        assert_eq!(fused.labels, mat.labels, "case {case} seed {seed}");
+        assert_eq!(
+            fused.forest_edges, mat.forest_edges,
+            "case {case} seed {seed}"
+        );
+        assert_eq!(
+            fused.num_components, mat.num_components,
+            "case {case} seed {seed}"
+        );
+        assert_eq!(fused.num_parts, mat.num_parts, "case {case} seed {seed}");
+        assert!(
+            led_f.costs().asym_writes <= led_m.costs().asym_writes,
+            "case {case} seed {seed}: fused writes {} > materialized {}",
+            led_f.costs().asym_writes,
+            led_m.costs().asym_writes
+        );
+    }
+}
+
+/// A labeled predicate shape for the pipeline-equivalence sweep.
+type Shape = (&'static str, fn(usize) -> bool);
+
+#[test]
+fn fused_pipelines_match_materialized_counterparts() {
+    // Representative compositions over a charged source, including the
+    // degenerate shapes: empty input, all-pass filter, all-fail filter.
+    let shapes: [Shape; 3] = [
+        ("mod7", |i| i % 7 == 0),
+        ("all-pass", |_| true),
+        ("all-fail", |_| false),
+    ];
+    for n in [0usize, 1, 1023, 1024, 1025, 9000] {
+        for (label, keep) in shapes {
+            // filter → map, fused vs materialized filter_map_collect.
+            let fused = {
+                let mut led = Ledger::new(OMEGA);
+                tabulate(n, |i, l| {
+                    l.read(1);
+                    i
+                })
+                .filter(move |&i, _| keep(i))
+                .map(|i, _| (i as u32) ^ 0x55aa)
+                .collect(&mut led)
+            };
+            let materialized = {
+                let mut led = Ledger::new(OMEGA);
+                filter_map_collect(&mut led, n, &|i, l| {
+                    l.read(1);
+                    keep(i).then_some((i as u32) ^ 0x55aa)
+                })
+            };
+            assert_eq!(fused, materialized, "n={n} {label}: filter+map");
+
+            // pack_index vs filter_indices.
+            let packed = {
+                let mut led = Ledger::new(OMEGA);
+                tabulate(n, move |i, _| keep(i)).pack_index(&mut led)
+            };
+            let indices = {
+                let mut led = Ledger::new(OMEGA);
+                filter_indices(&mut led, n, &|i, _| keep(i))
+            };
+            assert_eq!(packed, indices, "n={n} {label}: pack_index");
+
+            // Option-flatten (the §4.2 step-3 shape) vs filter_map.
+            let flattened = {
+                let mut led = Ledger::new(OMEGA);
+                tabulate(n, move |i, _| keep(i).then_some(i as u32))
+                    .flatten()
+                    .collect(&mut led)
+            };
+            let filter_mapped = {
+                let mut led = Ledger::new(OMEGA);
+                filter_map_collect(&mut led, n, &|i, _| keep(i).then_some(i as u32))
+            };
+            assert_eq!(flattened, filter_mapped, "n={n} {label}: flatten");
+        }
+    }
+}
+
+/// Pinned exact cost replay for one representative pipeline at n = 2500,
+/// ω = 16: `tabulate(read 1/slot) → filter(i % 3 == 0) → collect` against
+/// the materialized `filter_indices` on the same predicate. The literals
+/// encode the fusion charge contract — if any stage's pricing drifts,
+/// this fails before anything subtler does.
+#[test]
+fn pinned_cost_replay_fused_below_materialized() {
+    let n = 2500usize;
+    let survivors = 834u64; // ⌈2500 / 3⌉
+    let chunks = 3u64; // ⌈2500 / 1024⌉
+
+    let mut fused_led = Ledger::new(OMEGA);
+    let fused = tabulate(n, |i, l| {
+        l.read(1);
+        i as u32
+    })
+    .filter(|&i, _| i % 3 == 0)
+    .collect(&mut fused_led);
+    assert_eq!(fused.len() as u64, survivors);
+
+    // Fused contract: 1 read/slot (user); ops = slot op + filter-stage op
+    // per slot, + 1 concat op per chunk + (chunks − 1) split ops; writes =
+    // emitted elements only.
+    let expect_fused = Costs {
+        asym_reads: n as u64,
+        asym_writes: survivors,
+        sym_ops: 2 * n as u64 + chunks + (chunks - 1),
+    };
+    assert_eq!(fused_led.costs(), expect_fused, "fused pipeline drifted");
+
+    let mut mat_led = Ledger::new(OMEGA);
+    let materialized = filter_indices(&mut mat_led, n, &|i, l| {
+        l.read(1);
+        i % 3 == 0
+    });
+    assert_eq!(materialized.len() as u64, survivors);
+
+    // Materialized two-pass filter: the predicate (and its read) runs
+    // twice; block offsets pay chunks + 1 writes and a scan pass; both
+    // passes pay (chunks − 1) split ops.
+    let expect_mat = Costs {
+        asym_reads: 2 * n as u64,
+        asym_writes: survivors + chunks + 1,
+        sym_ops: chunks + 2 * (chunks - 1),
+    };
+    assert_eq!(mat_led.costs(), expect_mat, "materialized filter drifted");
+
+    assert!(
+        fused_led.costs().asym_writes < mat_led.costs().asym_writes,
+        "fused writes must sit strictly below materialized"
+    );
+    assert!(
+        fused_led.costs().asym_reads < mat_led.costs().asym_reads,
+        "fused runs the charged predicate once, not twice"
+    );
+}
+
+#[test]
+fn star_handle_drops_into_sharded_serving() {
+    let g = gen::disjoint_union(&[
+        &gen::bounded_degree_connected(300, 4, 80, 11),
+        &gen::grid(6, 7),
+        &Csr::from_edges(5, &[]),
+    ]);
+    let n = g.n() as u32;
+    let mut led = Ledger::new(OMEGA);
+    let star: StarOracle = star_connectivity(&mut led, &g, 1.0 / OMEGA as f64, 11);
+
+    let mut rng = SmallRng::seed_from_u64(0x57a2);
+    let batch: Vec<Query> = (0..200)
+        .map(|_| {
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(0.5) {
+                Query::Connected(u, v)
+            } else {
+                Query::Component(u)
+            }
+        })
+        .collect();
+
+    for shards in [1usize, 2, 7] {
+        let run = |mut led: Ledger| {
+            let server = ShardedServer::new(star.query_handle(), shards);
+            let answers = server.serve(&mut led, &batch);
+            (answers, led.costs(), led.depth())
+        };
+        let par = run(Ledger::new(OMEGA));
+        let seq = run(Ledger::sequential(OMEGA));
+        assert_eq!(par, seq, "star serving not bit-identical (shards={shards})");
+
+        // Answers must equal the star handle's own one-by-one queries and
+        // agree with ground-truth connectivity.
+        let truth = uf_labels(&g);
+        for (q, a) in batch.iter().zip(&par.0) {
+            match (*q, *a) {
+                (Query::Connected(u, v), Answer::Connected(c)) => {
+                    assert_eq!(
+                        c,
+                        truth[u as usize] == truth[v as usize],
+                        "connected({u},{v}) shards={shards}"
+                    );
+                }
+                (Query::Component(u), Answer::Component(id)) => {
+                    let mut one = Ledger::new(OMEGA);
+                    assert_eq!(id, star.component(&mut one, u), "component({u})");
+                }
+                _ => panic!("answer kind mismatch for {q:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn star_build_costs_invariant_under_parallelism() {
+    let n = 2000;
+    let g = gen::bounded_degree_connected(n, 4, n / 4, 7);
+    let run = |mut led: Ledger| {
+        let star = star_connectivity(&mut led, &g, 1.0 / 64.0, 7);
+        (
+            star.labels().to_vec(),
+            star.rounds(),
+            led.costs(),
+            led.depth(),
+            led.sym_peak(),
+        )
+    };
+    assert_eq!(
+        run(Ledger::new(64)),
+        run(Ledger::sequential(64)),
+        "star build not bit-identical across parallelism"
+    );
+}

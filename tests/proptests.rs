@@ -15,6 +15,7 @@ use wec::biconnectivity::{bc_labeling, oracle::build_biconnectivity_oracle};
 use wec::connectivity::{connectivity_csr, ConnectivityOracle, OracleBuildOpts};
 use wec::core::{BuildOpts, ImplicitDecomposition};
 use wec::graph::{Csr, Priorities, Vertex};
+use wec::prims::delayed::{tabulate, Delayed};
 
 const CASES: usize = 48;
 
@@ -134,6 +135,130 @@ fn bc_labeling_matches_brute() {
                 "case {case} seed {seed}: bridge {e}"
             );
         }
+    }
+}
+
+/// One randomly drawn lazy stage of a fused composition chain. Every
+/// variant is expressed as a `flat_map` so each chain level instantiates
+/// exactly one adapter type regardless of which stage was drawn — the
+/// depth ≤ 4 bound below then caps monomorphization at five pipeline
+/// shapes total.
+#[derive(Clone, Copy, Debug)]
+enum Stage {
+    /// `x ↦ x ⊕ c` (one output per input).
+    Map(u64),
+    /// keep `x` iff `x % k == 0` (zero or one output per input).
+    Filter(u64),
+    /// `x ↦ x, x+1, …` with `x % c` outputs (fan-out).
+    Flat(u64),
+}
+
+impl Stage {
+    fn random(rng: &mut SmallRng) -> Stage {
+        match rng.gen_range(0u32..3) {
+            0 => Stage::Map(rng.gen::<u64>() | 1),
+            1 => Stage::Filter(rng.gen_range(2u64..7)),
+            _ => Stage::Flat(rng.gen_range(2u64..4)),
+        }
+    }
+
+    /// The stage's semantics as a plain (uncharged) expansion — the
+    /// reference interpreter.
+    fn expand(self, x: u64) -> Vec<u64> {
+        match self {
+            Stage::Map(c) => vec![x ^ c],
+            Stage::Filter(k) => {
+                if x.is_multiple_of(k) {
+                    vec![x]
+                } else {
+                    Vec::new()
+                }
+            }
+            Stage::Flat(c) => (0..x % c).map(|j| x + j).collect(),
+        }
+    }
+}
+
+/// The stage as a charged fused closure. Each call site of this function
+/// produces the *same* opaque closure type, which is what keeps the
+/// per-depth pipeline types finite.
+fn stage_fn(st: Stage) -> impl Fn(u64, &mut Ledger) -> Vec<u64> + Sync {
+    move |x, _| st.expand(x)
+}
+
+/// Evaluate a composition chain lazily (fused) at the given depth. The
+/// explicit per-depth arms are deliberate: a recursive generic over the
+/// growing adapter types would never finish monomorphizing.
+fn run_fused(led: &mut Ledger, n: usize, stages: &[Stage]) -> Vec<u64> {
+    let base = tabulate(n, |i, l| {
+        l.read(1);
+        i as u64
+    });
+    match *stages {
+        [] => base.collect(led),
+        [a] => base.flat_map(stage_fn(a)).collect(led),
+        [a, b] => base
+            .flat_map(stage_fn(a))
+            .flat_map(stage_fn(b))
+            .collect(led),
+        [a, b, c] => base
+            .flat_map(stage_fn(a))
+            .flat_map(stage_fn(b))
+            .flat_map(stage_fn(c))
+            .collect(led),
+        [a, b, c, d] => base
+            .flat_map(stage_fn(a))
+            .flat_map(stage_fn(b))
+            .flat_map(stage_fn(c))
+            .flat_map(stage_fn(d))
+            .collect(led),
+        _ => unreachable!("composition depth is capped at 4"),
+    }
+}
+
+/// The eager, uncharged reference: materialize every stage boundary with
+/// plain iterators.
+fn run_reference(n: usize, stages: &[Stage]) -> Vec<u64> {
+    let mut cur: Vec<u64> = (0..n as u64).collect();
+    for &st in stages {
+        cur = cur.into_iter().flat_map(|x| st.expand(x)).collect();
+    }
+    cur
+}
+
+#[test]
+fn fused_composition_trees_match_reference_with_invariant_costs() {
+    let mut rng = SmallRng::seed_from_u64(0xdec0_0006);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..600);
+        let depth = rng.gen_range(0usize..=4);
+        let stages: Vec<Stage> = (0..depth).map(|_| Stage::random(&mut rng)).collect();
+
+        let expected = run_reference(n, &stages);
+        let run = |mut led: Ledger| {
+            let out = run_fused(&mut led, n, &stages);
+            (out, led.costs(), led.depth(), led.sym_peak())
+        };
+        let par = run(Ledger::new(16));
+        let seq = run(Ledger::sequential(16));
+        assert_eq!(
+            par.0, expected,
+            "case {case} n {n} stages {stages:?}: fused output != reference"
+        );
+        // Bit-identical costs on one thread vs the pool; CI re-runs this
+        // file at WEC_THREADS ∈ {1, 2, 8, 16}, so the same assertion also
+        // pins the costs across process-level thread counts.
+        assert_eq!(
+            par, seq,
+            "case {case} n {n} stages {stages:?}: costs not thread-invariant"
+        );
+        // Fusion's write contract: writes == emitted elements, no matter
+        // how the chain is shaped.
+        assert_eq!(
+            par.1.asym_writes,
+            expected.len() as u64,
+            "case {case} n {n} stages {stages:?}: writes must equal output size"
+        );
     }
 }
 
