@@ -66,7 +66,10 @@ pub use mutation::{
     OVERLAY_ENTRY_WRITES, OVERLAY_FIND_OPS, OVERLAY_LOOKUP_READS, OVERLAY_UNION_OPS,
 };
 pub use report::CostReport;
-pub use wire::{DRR_VISIT_OPS, FRAME_DECODE_OPS, FRAME_ENCODE_OPS, TENANT_ADMIT_OPS};
+pub use wire::{
+    DEDUP_INSERT_WRITES, DEDUP_PROBE_OPS, DRR_VISIT_OPS, FRAME_DECODE_OPS, FRAME_ENCODE_OPS,
+    RECONNECT_BACKOFF_OPS, SESSION_BIND_OPS, TENANT_ADMIT_OPS,
+};
 
 /// Default write-cost multiplier used by examples and tests when nothing
 /// more specific is requested. Projections for PCM/ReRAM in the paper's

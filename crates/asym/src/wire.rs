@@ -34,3 +34,27 @@ pub const FRAME_DECODE_OPS: u64 = 1;
 /// Unit operations charged per wire frame the frontend encodes (header
 /// plus the bounded payload serialization).
 pub const FRAME_ENCODE_OPS: u64 = 1;
+
+/// Unit operations charged when a v2 `Hello` binds or rebinds a session
+/// (one session-table probe plus the connection pointer swap). v1
+/// connections never bind sessions and never pay this.
+pub const SESSION_BIND_OPS: u64 = 1;
+
+/// Unit operations charged per v2 `Request` for probing the session's
+/// dedup window (one bounded hash-table probe deciding fresh vs
+/// suppressed vs replayed). v1 requests skip the window and the charge.
+pub const DEDUP_PROBE_OPS: u64 = 1;
+
+/// Asymmetric-memory writes charged per fresh dedup-window entry (the
+/// correlation-id record that makes resubmission idempotent). Like the
+/// serving layer's cache-insert charge it is a write, not an op: the
+/// window survives reconnects, so it lives on the expensive side of the
+/// asymmetry.
+pub const DEDUP_INSERT_WRITES: u64 = 1;
+
+/// Unit operations charged per reconnect attempt *unit* of the wire
+/// client's exponential backoff: attempt `a` (1-based) charges
+/// `RECONNECT_BACKOFF_OPS << (a − 1)` operations before redialing, so
+/// the waiting is priced in model time exactly like the recovery
+/// ladder's `retry_backoff_ops`.
+pub const RECONNECT_BACKOFF_OPS: u64 = 1;

@@ -1188,6 +1188,165 @@ impl TenantSnapshot {
     }
 }
 
+/// One measured leg of the wire-chaos sweep: the 94%-hot wire workload
+/// pushed through byte-fault-injected connections at a fixed rate, with
+/// either exactly-once retrying clients (`mode = "retry"`) or fire-once
+/// clients that never resubmit (`mode = "noretry"`, the baseline that
+/// shows what the faults would cost an unhardened stack).
+#[derive(Debug, Clone)]
+pub struct ChaosLeg {
+    /// Injected byte-fault probability in per-mille (‰) per decision
+    /// point, applied to every fault family. 0 = fault-free.
+    pub fault_per_mille: u64,
+    /// `"retry"` or `"noretry"`.
+    pub mode: String,
+    /// Fraction of submitted queries that received exactly one answer.
+    /// The retry contract pins this at 1.0 for every rate.
+    pub completeness: f64,
+    /// Duplicate deliveries suppressed client-side plus duplicate
+    /// requests suppressed / answers replayed server-side — the dedup
+    /// machinery's measured workload.
+    pub duplicates_suppressed: u64,
+    /// Reconnects performed (charged, backed off).
+    pub reconnects: u64,
+    /// Request frames resubmitted after reconnects or retryable errors.
+    pub resubmitted: u64,
+    /// Server connections closed by transport faults.
+    pub conns_closed: u64,
+    /// Median wall-clock seconds for the whole stream.
+    pub seconds_per_stream: f64,
+    /// Answers per second (`answered / seconds_per_stream`).
+    pub query_throughput_per_sec: f64,
+    /// Model operations charged per submitted query, server plus
+    /// clients (retry overhead included).
+    pub ops_per_query: f64,
+}
+
+impl ChaosLeg {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .num("fault_per_mille", self.fault_per_mille)
+            .str("mode", &self.mode)
+            .float("completeness", self.completeness)
+            .num("duplicates_suppressed", self.duplicates_suppressed)
+            .num("reconnects", self.reconnects)
+            .num("resubmitted", self.resubmitted)
+            .num("conns_closed", self.conns_closed)
+            .float("seconds_per_stream", self.seconds_per_stream)
+            .float("query_throughput_per_sec", self.query_throughput_per_sec)
+            .float("ops_per_query", self.ops_per_query)
+            .finish()
+    }
+}
+
+/// The machine-readable wire-chaos snapshot (`BENCH_PR10.json`): the
+/// 94%-hot wire workload at byte-fault rates {0‰, 1‰, 10‰}, retrying
+/// clients against the no-retry baseline. The top-level
+/// `query_throughput_per_sec` (fault-free retry leg),
+/// `completeness_at_10pm` (must be exactly 1.0 — exactly-once survives
+/// 1% byte faults), `noretry_completeness_at_10pm` (the baseline's
+/// loss), `duplicates_suppressed_total`, and
+/// `throughput_retained_pct_at_10pm` keys are what the CI bench guard
+/// validates.
+#[derive(Debug, Clone)]
+pub struct ChaosSnapshot {
+    /// Which PR produced the snapshot.
+    pub pr: u64,
+    /// `rayon` worker threads available to the run.
+    pub threads: u64,
+    /// Write-cost multiplier.
+    pub omega: u64,
+    /// Vertices of the benchmark graph.
+    pub n: u64,
+    /// Shards the streaming server dispatched over.
+    pub shards: u64,
+    /// Concurrent wire clients per leg.
+    pub clients: u64,
+    /// Queries submitted per client.
+    pub per_client: u64,
+    /// Fault-plan seed every leg derives its decisions from.
+    pub seed: u64,
+    /// All measured legs, ascending by fault rate, retry before noretry.
+    pub legs: Vec<ChaosLeg>,
+}
+
+impl ChaosSnapshot {
+    fn leg(&self, per_mille: u64, mode: &str) -> Option<&ChaosLeg> {
+        self.legs
+            .iter()
+            .find(|l| l.fault_per_mille == per_mille && l.mode == mode)
+    }
+
+    /// Completeness of the retry leg at `per_mille` (NaN if absent).
+    pub fn retry_completeness(&self, per_mille: u64) -> f64 {
+        self.leg(per_mille, "retry")
+            .map_or(f64::NAN, |l| l.completeness)
+    }
+
+    /// Completeness of the no-retry baseline at `per_mille` (NaN if
+    /// absent).
+    pub fn noretry_completeness(&self, per_mille: u64) -> f64 {
+        self.leg(per_mille, "noretry")
+            .map_or(f64::NAN, |l| l.completeness)
+    }
+
+    /// Retry-leg throughput retained at `per_mille` relative to the
+    /// fault-free retry leg, as a percentage (100 = no degradation).
+    pub fn throughput_retained_pct(&self, per_mille: u64) -> f64 {
+        match (self.leg(0, "retry"), self.leg(per_mille, "retry")) {
+            (Some(base), Some(l)) if base.query_throughput_per_sec > 0.0 => {
+                100.0 * l.query_throughput_per_sec / base.query_throughput_per_sec
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Duplicates suppressed across every leg.
+    pub fn duplicates_suppressed_total(&self) -> u64 {
+        self.legs.iter().map(|l| l.duplicates_suppressed).sum()
+    }
+
+    /// Render the snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut obj = json::Obj::new()
+            .num("pr", self.pr)
+            .num("threads", self.threads)
+            .num("omega", self.omega)
+            .num("n", self.n)
+            .num("shards", self.shards)
+            .num("clients", self.clients)
+            .num("per_client", self.per_client)
+            .num("seed", self.seed)
+            .raw("legs", &json::array(self.legs.iter().map(|l| l.to_json())));
+        if let Some(base) = self.leg(0, "retry") {
+            obj = obj.float("query_throughput_per_sec", base.query_throughput_per_sec);
+        }
+        obj.float("completeness_at_10pm", self.retry_completeness(10))
+            .float(
+                "noretry_completeness_at_10pm",
+                self.noretry_completeness(10),
+            )
+            .num(
+                "duplicates_suppressed_total",
+                self.duplicates_suppressed_total(),
+            )
+            .float(
+                "throughput_retained_pct_at_10pm",
+                self.throughput_retained_pct(10),
+            )
+            .finish()
+    }
+
+    /// Write the snapshot to `path` (or the `WEC_CHAOS_BENCH_OUT`
+    /// override).
+    pub fn write(&self, path: &str) -> std::io::Result<String> {
+        let path = std::env::var("WEC_CHAOS_BENCH_OUT").unwrap_or_else(|_| path.to_string());
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
 /// Format a costs row for the fixed-width tables the binaries print.
 pub fn row(label: &str, c: &Costs, omega: u64, depth: u64) -> String {
     format!(

@@ -40,6 +40,11 @@
 //! * a **burst** tells a load generator to submit extra queries at a
 //!   tick, exercising queue-overflow shedding (the serving layer never
 //!   consults it — see `FaultPlan::burst_extra`).
+//!
+//! This module covers faults *inside* the serving stack. Its byte-level
+//! counterpart for the wire layer — short reads/writes, mid-frame
+//! disconnects, stalls, duplicated delivery, seeded the same way — is
+//! [`crate::wire::chaos`].
 
 use std::time::Duration;
 

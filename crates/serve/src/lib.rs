@@ -110,16 +110,19 @@ pub use streaming::{
 };
 pub use tenant::{FairShare, TenancyStats, TenantId, TenantSpec, TenantStats};
 pub use wire::{
-    encode_frame, loopback_pair, ConnId, Frame, FrameBuf, Frontend, FrontendStats,
-    LoopbackTransport, PumpReport, TcpTransport, Transport, TransportError, WireFault,
-    MAX_FRAME_BYTES, WIRE_VERSION,
+    encode_frame, frame_version, loopback_listener, loopback_pair, ChaosConnector, ChaosStats,
+    ChaosTransport, ClientStats, ConnId, Connector, Frame, FrameBuf, Frontend, FrontendStats,
+    GoawayReason, LifecyclePolicy, LoopbackConnector, LoopbackListener, LoopbackTransport,
+    PumpReport, RetryPolicy, TcpTransport, Transport, TransportError, WireClient, WireFault,
+    WireFaultPlan, MAX_FRAME_BYTES, WIRE_VERSION, WIRE_VERSION_2,
 };
 // The mutation- and wire-path charge constants, re-exported beside the
 // serving ones so replay tests and benches price everything from one
 // import surface.
 pub use wec_asym::{
-    DRR_VISIT_OPS, EPOCH_INSTALL_OPS, FRAME_DECODE_OPS, FRAME_ENCODE_OPS, INVALIDATE_ENTRY_WRITES,
-    INVALIDATE_SCAN_OPS, TENANT_ADMIT_OPS,
+    DEDUP_INSERT_WRITES, DEDUP_PROBE_OPS, DRR_VISIT_OPS, EPOCH_INSTALL_OPS, FRAME_DECODE_OPS,
+    FRAME_ENCODE_OPS, INVALIDATE_ENTRY_WRITES, INVALIDATE_SCAN_OPS, RECONNECT_BACKOFF_OPS,
+    SESSION_BIND_OPS, TENANT_ADMIT_OPS,
 };
 pub use wec_connectivity::{ComponentOverlay, GraphDelta};
 
@@ -240,11 +243,16 @@ pub enum ServeError {
     /// dropped.
     MalformedFrame(WireFault),
     /// A wire frame carried an unsupported protocol version; the peer
-    /// must speak [`WIRE_VERSION`].
+    /// must speak [`WIRE_VERSION`] or [`WIRE_VERSION_2`].
     ProtocolVersion {
         /// The version byte the peer sent.
         got: u8,
     },
+    /// The server announced `Goaway` and is draining: requests already
+    /// in flight will still be answered, but no new request is admitted
+    /// on this connection. Resubmitting on a fresh connection (or to
+    /// another server) is safe — no ticket was consumed.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for ServeError {
@@ -268,8 +276,11 @@ impl std::fmt::Display for ServeError {
             ServeError::ProtocolVersion { got } => {
                 write!(
                     f,
-                    "protocol version {got} unsupported (speak {WIRE_VERSION})"
+                    "protocol version {got} unsupported (speak {WIRE_VERSION} or {WIRE_VERSION_2})"
                 )
+            }
+            ServeError::ShuttingDown => {
+                write!(f, "server shutting down: connection is draining")
             }
         }
     }

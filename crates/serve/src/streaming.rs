@@ -906,6 +906,13 @@ where
         self.ready.len()
     }
 
+    /// Tickets issued whose results have not yet been delivered —
+    /// queued, dispatched, or ready. This is the "anything still in
+    /// flight?" predicate graceful shutdown drains to zero.
+    pub fn undelivered(&self) -> u64 {
+        self.next_ticket - self.delivered_total
+    }
+
     /// The owner shard of `q` under affinity routing: the pinned stable
     /// hash of the query's canonical cache key, modulo the shard count.
     /// Pure compute; the dispatch path charges [`ROUTE_HASH_OPS`] per

@@ -1,0 +1,419 @@
+//! Deterministic byte-level fault injection for the wire layer.
+//!
+//! [`ChaosTransport`] wraps any [`Transport`] and perturbs its traffic
+//! under a seeded [`WireFaultPlan`] — the byte-level sibling of the
+//! serving core's shard-level [`FaultPlan`](crate::fault::FaultPlan),
+//! and the same discipline: **every fault decision is a pure function
+//! of the plan**, derived by [`wec_asym::stable_combine`] over
+//! `(seed, conn, byte-offset)` coordinates, never from wall-clock time
+//! or an ambient RNG. Re-running a chaos scenario with the same seed
+//! replays the exact same torn frames, stalls, and disconnects, which
+//! is what makes the chaos acceptance tests CI-matrixable: the
+//! exactly-once guarantee is checked against a *reproducible* byte-level
+//! adversary, at every `WEC_THREADS` level.
+//!
+//! ## Fault families
+//!
+//! | knob (per-mille) | decision coordinate | effect |
+//! |------------------|---------------------|--------|
+//! | `short_read`     | per `recv` call     | the read is truncated to a deterministic prefix of the buffer |
+//! | `short_write`    | per `send`, at the cumulative byte offset | only a prefix is forwarded now; the suffix is held and flushed on the next transport call (a torn frame crossing two receives) |
+//! | `disconnect`     | per `send`, at the cumulative byte offset | a prefix is forwarded, then the connection drops **mid-frame** — both ends see [`TransportError::Closed`] after draining |
+//! | `stall`          | per `recv` call     | the read reports `Ok(0)` even though bytes are available |
+//! | `duplicate`      | per `send`, at the cumulative byte offset | the sent bytes are delivered twice (at-least-once delivery of a whole frame) |
+//!
+//! The zero-knob plan ([`WireFaultPlan::seeded`] with no `with_*`
+//! calls) never fires and the wrapper forwards byte-for-byte, so the
+//! fault-free path is *behavior-identical* to the bare transport — the
+//! chaos layer adds no charges and no byte-stream difference, keeping
+//! wire costs and `costs_golden.json` untouched.
+//!
+//! Note what chaos deliberately does **not** do: corrupt bytes in
+//! flight. The [`Transport`] contract is an ordered reliable pipe (TCP,
+//! loopback); chaos models the failures such a pipe really exhibits —
+//! partial delivery, disconnection, duplication across reconnects —
+//! and the codec-totality tests cover arbitrary garbage separately.
+
+use wec_asym::stable_combine;
+
+use super::transport::{Connector, Transport, TransportError};
+
+/// Salts separating the chaos fault families in the decision hash
+/// (disjoint from the shard-level `FaultPlan` salts by construction —
+/// different module, different coordinate space).
+const KIND_SHORT_READ: u64 = 0x11;
+const KIND_SHORT_WRITE: u64 = 0x12;
+const KIND_DISCONNECT: u64 = 0x13;
+const KIND_STALL: u64 = 0x14;
+const KIND_DUPLICATE: u64 = 0x15;
+
+/// A seeded byte-level fault plan: per-mille rates per fault family,
+/// every decision a pure function of `(seed, conn, coordinate)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFaultPlan {
+    seed: u64,
+    short_read_per_mille: u16,
+    short_write_per_mille: u16,
+    disconnect_per_mille: u16,
+    stall_per_mille: u16,
+    duplicate_per_mille: u16,
+}
+
+impl WireFaultPlan {
+    /// The zero-knob plan for `seed`: nothing fires until a `with_*`
+    /// builder turns a family on.
+    pub fn seeded(seed: u64) -> Self {
+        WireFaultPlan {
+            seed,
+            short_read_per_mille: 0,
+            short_write_per_mille: 0,
+            disconnect_per_mille: 0,
+            stall_per_mille: 0,
+            duplicate_per_mille: 0,
+        }
+    }
+
+    /// Truncate roughly `per_mille`‰ of reads (clamped to 1000).
+    pub fn with_short_reads(mut self, per_mille: u16) -> Self {
+        self.short_read_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Tear roughly `per_mille`‰ of sends across two deliveries.
+    pub fn with_short_writes(mut self, per_mille: u16) -> Self {
+        self.short_write_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Drop the connection mid-frame on roughly `per_mille`‰ of sends.
+    pub fn with_disconnects(mut self, per_mille: u16) -> Self {
+        self.disconnect_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Stall roughly `per_mille`‰ of reads at `Ok(0)`.
+    pub fn with_stalls(mut self, per_mille: u16) -> Self {
+        self.stall_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Deliver roughly `per_mille`‰ of sends twice.
+    pub fn with_duplicates(mut self, per_mille: u16) -> Self {
+        self.duplicate_per_mille = per_mille.min(1000);
+        self
+    }
+
+    /// Every fault family at the same `per_mille` rate — the one-knob
+    /// chaos level the acceptance tests and `chaos_bench` sweep.
+    pub fn with_all(self, per_mille: u16) -> Self {
+        self.with_short_reads(per_mille)
+            .with_short_writes(per_mille)
+            .with_disconnects(per_mille)
+            .with_stalls(per_mille)
+            .with_duplicates(per_mille)
+    }
+
+    /// Whether any family can ever fire. The zero-knob plan is inert:
+    /// wrapping a transport with it is behavior-identical to not
+    /// wrapping it.
+    pub fn injects_anything(&self) -> bool {
+        self.short_read_per_mille
+            | self.short_write_per_mille
+            | self.disconnect_per_mille
+            | self.stall_per_mille
+            | self.duplicate_per_mille
+            != 0
+    }
+
+    /// The deterministic decision hash for one `(family, conn,
+    /// coordinate)` point.
+    fn mix(&self, salt: u64, conn: u64, coord: u64) -> u64 {
+        stable_combine(self.seed ^ salt, stable_combine(conn, coord))
+    }
+
+    /// Does the family fire at this point? Returns the mixed value (for
+    /// deriving deterministic cut points) when it does.
+    fn roll(&self, salt: u64, per_mille: u16, conn: u64, coord: u64) -> Option<u64> {
+        if per_mille == 0 {
+            return None;
+        }
+        let h = self.mix(salt, conn, coord);
+        (h % 1000 < per_mille as u64).then_some(h)
+    }
+}
+
+/// Cumulative injected-fault counters for one [`ChaosTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Reads truncated to a prefix of the caller's buffer.
+    pub short_reads: u64,
+    /// Sends torn across two deliveries.
+    pub short_writes: u64,
+    /// Mid-frame disconnects injected.
+    pub disconnects: u64,
+    /// Reads stalled at `Ok(0)` despite available bytes.
+    pub stalls: u64,
+    /// Sends delivered twice.
+    pub duplicates: u64,
+}
+
+/// A [`Transport`] wrapper injecting the faults of a [`WireFaultPlan`].
+///
+/// The wrapper sits on the **client side** of a connection, so both
+/// directions are perturbed: what the client sends can be torn,
+/// duplicated, or cut off mid-frame before the server sees it, and what
+/// the server sent can arrive short or stalled. `conn` is the decision
+/// coordinate distinguishing connections — [`ChaosConnector`] assigns
+/// dial order, so reconnect number `k` replays the same faults on every
+/// run.
+#[derive(Debug)]
+pub struct ChaosTransport<T> {
+    inner: Option<T>,
+    plan: WireFaultPlan,
+    conn: u64,
+    /// Bytes the caller has offered to `send` (the send-side coordinate).
+    sent: u64,
+    /// `recv` calls made (the receive-side coordinate; per-call, so a
+    /// stalled read advances the stream and cannot stall forever).
+    recv_calls: u64,
+    /// Suffix bytes a short write held back; flushed ahead of the next
+    /// transport call, so delivery is delayed but never reordered.
+    pending_out: Vec<u8>,
+    stats: ChaosStats,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wrap `inner`, injecting `plan`'s faults with connection
+    /// coordinate `conn`.
+    pub fn new(inner: T, plan: WireFaultPlan, conn: u64) -> Self {
+        ChaosTransport {
+            inner: Some(inner),
+            plan,
+            conn,
+            sent: 0,
+            recv_calls: 0,
+            pending_out: Vec::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Injected-fault counters so far.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Push any held-back short-write suffix into the inner transport.
+    fn flush_pending(&mut self) {
+        if self.pending_out.is_empty() {
+            return;
+        }
+        if let Some(inner) = self.inner.as_mut() {
+            if inner.send(&self.pending_out).is_ok() {
+                self.pending_out.clear();
+            }
+        } else {
+            self.pending_out.clear();
+        }
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.flush_pending();
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(TransportError::Closed);
+        };
+        let offset = self.sent;
+        self.sent += bytes.len() as u64;
+        if let Some(h) = self.plan.roll(
+            KIND_DISCONNECT,
+            self.plan.disconnect_per_mille,
+            self.conn,
+            offset,
+        ) {
+            // Deliver a deterministic proper prefix, then drop the pipe:
+            // the peer decodes a torn frame head and then sees Closed.
+            let cut = (h >> 10) as usize % bytes.len().max(1);
+            let _ = inner.send(&bytes[..cut]);
+            self.inner = None;
+            self.stats.disconnects += 1;
+            return Err(TransportError::Closed);
+        }
+        if let Some(h) = self.plan.roll(
+            KIND_SHORT_WRITE,
+            self.plan.short_write_per_mille,
+            self.conn,
+            offset,
+        ) {
+            if bytes.len() > 1 {
+                // Forward a proper prefix now; the suffix rides along on
+                // the next call — a frame torn across two deliveries.
+                let cut = 1 + (h >> 10) as usize % (bytes.len() - 1);
+                inner.send(&bytes[..cut])?;
+                self.pending_out.extend_from_slice(&bytes[cut..]);
+                self.stats.short_writes += 1;
+                return Ok(());
+            }
+        }
+        inner.send(bytes)?;
+        if self
+            .plan
+            .roll(
+                KIND_DUPLICATE,
+                self.plan.duplicate_per_mille,
+                self.conn,
+                offset,
+            )
+            .is_some()
+        {
+            // At-least-once delivery: the same bytes arrive again.
+            inner.send(bytes)?;
+            self.stats.duplicates += 1;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        self.flush_pending();
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(TransportError::Closed);
+        };
+        let call = self.recv_calls;
+        self.recv_calls += 1;
+        if self
+            .plan
+            .roll(KIND_STALL, self.plan.stall_per_mille, self.conn, call)
+            .is_some()
+        {
+            self.stats.stalls += 1;
+            return Ok(0);
+        }
+        let limit = match self.plan.roll(
+            KIND_SHORT_READ,
+            self.plan.short_read_per_mille,
+            self.conn,
+            call,
+        ) {
+            Some(h) if buf.len() > 1 => {
+                self.stats.short_reads += 1;
+                1 + (h >> 10) as usize % (buf.len() - 1)
+            }
+            _ => buf.len(),
+        };
+        inner.recv(&mut buf[..limit])
+    }
+}
+
+/// A [`Connector`] that wraps every dialed transport in a
+/// [`ChaosTransport`], assigning connection coordinates in dial order —
+/// so a client's `k`-th (re)connection sees the same faults on every
+/// run with the same plan.
+pub struct ChaosConnector<C> {
+    inner: C,
+    plan: WireFaultPlan,
+    next_conn: u64,
+}
+
+impl<C: Connector> ChaosConnector<C> {
+    /// Wrap `inner` under `plan`.
+    pub fn new(inner: C, plan: WireFaultPlan) -> Self {
+        ChaosConnector {
+            inner,
+            plan,
+            next_conn: 0,
+        }
+    }
+
+    /// Connections dialed so far (the next connection coordinate).
+    pub fn dialed(&self) -> u64 {
+        self.next_conn
+    }
+}
+
+impl<C: Connector> Connector for ChaosConnector<C> {
+    fn dial(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+        let t = self.inner.dial()?;
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        Ok(Box::new(ChaosTransport::new(t, self.plan, conn)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::transport::loopback_pair;
+
+    #[test]
+    fn zero_knob_plan_is_transparent() {
+        let plan = WireFaultPlan::seeded(42);
+        assert!(!plan.injects_anything());
+        let (a, mut b) = loopback_pair();
+        let mut chaos = ChaosTransport::new(a, plan, 0);
+        chaos.send(b"exact bytes through").unwrap();
+        let mut buf = [0u8; 64];
+        let n = b.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"exact bytes through");
+        b.send(b"and back").unwrap();
+        let n = chaos.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"and back");
+        assert_eq!(chaos.chaos_stats(), ChaosStats::default());
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let plan = WireFaultPlan::seeded(7).with_all(200);
+        let run = || {
+            let (a, mut b) = loopback_pair();
+            let mut chaos = ChaosTransport::new(a, plan, 3);
+            let mut seen = Vec::new();
+            for i in 0..200u32 {
+                let msg = [i as u8; 16];
+                if chaos.send(&msg).is_err() {
+                    break;
+                }
+                let mut buf = [0u8; 64];
+                while let Ok(n) = b.recv(&mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    seen.extend_from_slice(&buf[..n]);
+                }
+            }
+            (seen, chaos.chaos_stats())
+        };
+        let (bytes_a, stats_a) = run();
+        let (bytes_b, stats_b) = run();
+        assert_eq!(bytes_a, bytes_b, "same seed ⇒ same byte stream");
+        assert_eq!(stats_a, stats_b, "same seed ⇒ same fault counts");
+        assert!(
+            stats_a.short_writes + stats_a.duplicates + stats_a.disconnects > 0,
+            "a 200‰ plan over 200 sends must fire"
+        );
+    }
+
+    #[test]
+    fn disconnect_cuts_mid_frame_and_closes_both_ends() {
+        // Find a seed point where the disconnect family fires.
+        let plan = WireFaultPlan::seeded(11).with_disconnects(1000);
+        let (a, mut b) = loopback_pair();
+        let mut chaos = ChaosTransport::new(a, plan, 0);
+        assert_eq!(
+            chaos.send(&[0xAB; 32]),
+            Err(TransportError::Closed),
+            "disconnect surfaces as Closed to the sender"
+        );
+        let mut buf = [0u8; 64];
+        // The peer drains whatever prefix made it, then sees Closed.
+        loop {
+            match b.recv(&mut buf) {
+                Ok(0) => unreachable!("peer must reach Closed"),
+                Ok(n) => assert!(n < 32, "only a proper prefix was delivered"),
+                Err(e) => {
+                    assert_eq!(e, TransportError::Closed);
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -4,12 +4,15 @@
 //! header (`u32` length, version byte, kind byte — see [`super`]), the
 //! per-kind payloads are:
 //!
-//! | kind | name    | payload |
-//! |------|---------|---------|
-//! | 1    | Hello   | `tenant: u16`, `credential: u64` |
-//! | 2    | Request | `query kind: u8`, `u: u32`, `v: u32` |
-//! | 3    | Answer  | `ticket: u64`, `answer kind: u8`, answer body |
-//! | 4    | Error   | `has_ticket: u8`, `ticket: u64` (if 1), error body |
+//! | kind | name    | v1 payload | v2 payload |
+//! |------|---------|------------|------------|
+//! | 1    | Hello   | `tenant: u16`, `credential: u64` | v1 + `session: u64` |
+//! | 2    | Request | `query kind: u8`, `u: u32`, `v: u32` | `corr: u64` + v1 |
+//! | 3    | Answer  | `ticket: u64`, `answer kind: u8`, answer body | `corr: u64`, answer kind + body |
+//! | 4    | Error   | `has_ticket: u8`, `ticket: u64` (if 1), error body | `has_corr: u8`, `corr: u64` (if 1), error body |
+//! | 5    | Ping    | `nonce: u64` (version-neutral) | — |
+//! | 6    | Pong    | `nonce: u64` (version-neutral) | — |
+//! | 7    | Goaway  | `reason: u8` (version-neutral) | — |
 //!
 //! Query kinds: 1 `Connected(u, v)`, 2 `Component(v)` (second word 0),
 //! 3 `TwoEdgeConnected(u, v)`, 4 `Biconnected(u, v)`. Answer bodies: the
@@ -17,6 +20,19 @@
 //! `u8` [`ComponentId`] tag (0 labeled, 1 implicit) and a `u32`. Error
 //! bodies mirror [`ServeError`] variant by variant (queue/quota bounds
 //! saturate to `u32` on the wire).
+//!
+//! ## Versions and negotiation
+//!
+//! Every frame carries its own version byte, and negotiation is
+//! per-frame: the server answers each frame in the version the frame
+//! arrived in, so a v1 peer sees exactly the PR-8 protocol while a v2
+//! peer on the same frontend gets correlation-id `Request`/`Answer`
+//! frames and session binding. Version 2 ([`WIRE_VERSION_2`]) adds a
+//! client-chosen correlation id to requests (echoed on the answer — the
+//! idempotence key for exactly-once retry) and a session id to `Hello`
+//! (survives reconnects). The control kinds `Ping`/`Pong`/`Goaway` are
+//! lifecycle frames, version-neutral by construction: they encode at
+//! version 1 and decode identically at either version.
 //!
 //! Decoding never panics and never silently skips: every outcome is a
 //! [`Frame`] or a typed [`ServeError`] ([`ServeError::ProtocolVersion`]
@@ -32,8 +48,12 @@ use wec_connectivity::ComponentId;
 use crate::tenant::TenantId;
 use crate::{Answer, Query, ServeError};
 
-/// The one protocol version this build speaks.
+/// The baseline protocol version (PR-8 frames, no correlation ids).
 pub const WIRE_VERSION: u8 = 1;
+
+/// Protocol version 2: correlation-id requests/answers and session
+/// `Hello`s, negotiated per frame (see the module docs).
+pub const WIRE_VERSION_2: u8 = 2;
 
 /// Hard cap on a frame's post-prefix length. Every frame this protocol
 /// defines is under 64 bytes; the cap bounds buffering against corrupt or
@@ -44,6 +64,9 @@ const KIND_HELLO: u8 = 1;
 const KIND_REQUEST: u8 = 2;
 const KIND_ANSWER: u8 = 3;
 const KIND_ERROR: u8 = 4;
+const KIND_PING: u8 = 5;
+const KIND_PONG: u8 = 6;
+const KIND_GOAWAY: u8 = 7;
 
 /// What exactly was wrong with a frame that failed to decode
 /// ([`ServeError::MalformedFrame`]).
@@ -76,6 +99,11 @@ pub enum WireFault {
     /// The peer sent a frame kind this side does not accept (e.g. an
     /// `Answer` frame arriving at the server).
     UnexpectedFrame,
+    /// A `Hello` arrived on a connection that is already bound (to a
+    /// tenant or a session). Rebinding a live connection is a protocol
+    /// violation; reconnect-and-rebind uses a *new* connection with the
+    /// same session id.
+    Rebind,
 }
 
 impl std::fmt::Display for WireFault {
@@ -93,6 +121,7 @@ impl std::fmt::Display for WireFault {
             }
             WireFault::BadCredential => write!(f, "unknown tenant or wrong credential"),
             WireFault::UnexpectedFrame => write!(f, "frame kind not accepted by this peer"),
+            WireFault::Rebind => write!(f, "hello on an already-bound connection"),
         }
     }
 }
@@ -129,6 +158,74 @@ pub enum Frame {
         /// The error.
         error: ServeError,
     },
+    /// v2 `Hello`: bind the connection to a tenant *and* a client-chosen
+    /// session. Reconnecting with the same session id rebinds the
+    /// session (and its dedup window) to the new connection.
+    HelloV2 {
+        /// The tenant to bind to.
+        tenant: TenantId,
+        /// The shared-secret credential.
+        credential: u64,
+        /// The client-chosen session id; survives reconnects.
+        session: u64,
+    },
+    /// v2 request: one query under a client-chosen correlation id — the
+    /// idempotence key the session's dedup window keys on.
+    RequestV2 {
+        /// The client-chosen correlation id (unique per session).
+        corr: u64,
+        /// The query.
+        query: Query,
+    },
+    /// v2 answer, correlated by the request's correlation id rather than
+    /// a server-side ticket.
+    AnswerV2 {
+        /// The correlation id of the request being answered.
+        corr: u64,
+        /// The answer.
+        answer: Answer,
+    },
+    /// v2 typed failure: of one correlation id, or of the frame that
+    /// triggered it (`corr: None`).
+    ErrorV2 {
+        /// The correlation id the error belongs to, when it has one.
+        corr: Option<u64>,
+        /// The error.
+        error: ServeError,
+    },
+    /// Keepalive probe (version-neutral). The receiver answers with a
+    /// [`Frame::Pong`] echoing the nonce.
+    Ping {
+        /// Echoed verbatim in the pong.
+        nonce: u64,
+    },
+    /// Keepalive reply (version-neutral).
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+    /// The sender is done with this connection (version-neutral): it
+    /// will finish what is in flight and then close. A server announces
+    /// shutdown or a lifecycle eviction; a client announces intent to
+    /// disconnect cleanly.
+    Goaway {
+        /// Why the connection is being retired.
+        reason: GoawayReason,
+    },
+}
+
+/// Why a peer announced [`Frame::Goaway`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoawayReason {
+    /// Graceful shutdown: in-flight work drains, then the connection
+    /// closes.
+    Shutdown,
+    /// The connection sat idle past its deadline and did not answer the
+    /// keepalive ping.
+    IdleTimeout,
+    /// The connection accumulated the strike limit of malformed or
+    /// protocol-violating frames.
+    Misbehavior,
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -218,6 +315,7 @@ fn put_error(out: &mut Vec<u8>, e: ServeError) {
             out.push(6);
             out.push(got);
         }
+        ServeError::ShuttingDown => out.push(7),
     }
 }
 
@@ -248,12 +346,26 @@ fn put_fault(out: &mut Vec<u8>, fault: WireFault) {
         }
         WireFault::BadCredential => out.push(9),
         WireFault::UnexpectedFrame => out.push(10),
+        WireFault::Rebind => out.push(11),
+    }
+}
+
+/// The version byte `frame` encodes with: v2 frames carry
+/// [`WIRE_VERSION_2`], everything else (v1 and the version-neutral
+/// control kinds) carries [`WIRE_VERSION`].
+pub fn frame_version(frame: &Frame) -> u8 {
+    match frame {
+        Frame::HelloV2 { .. }
+        | Frame::RequestV2 { .. }
+        | Frame::AnswerV2 { .. }
+        | Frame::ErrorV2 { .. } => WIRE_VERSION_2,
+        _ => WIRE_VERSION,
     }
 }
 
 /// Encode one frame, length prefix included.
 pub fn encode_frame(f: &Frame) -> Vec<u8> {
-    let mut body = vec![WIRE_VERSION];
+    let mut body = vec![frame_version(f)];
     match *f {
         Frame::Hello { tenant, credential } => {
             body.push(KIND_HELLO);
@@ -279,6 +391,53 @@ pub fn encode_frame(f: &Frame) -> Vec<u8> {
                 None => body.push(0),
             }
             put_error(&mut body, error);
+        }
+        Frame::HelloV2 {
+            tenant,
+            credential,
+            session,
+        } => {
+            body.push(KIND_HELLO);
+            put_u16(&mut body, tenant.0);
+            put_u64(&mut body, credential);
+            put_u64(&mut body, session);
+        }
+        Frame::RequestV2 { corr, query } => {
+            body.push(KIND_REQUEST);
+            put_u64(&mut body, corr);
+            put_query(&mut body, query);
+        }
+        Frame::AnswerV2 { corr, answer } => {
+            body.push(KIND_ANSWER);
+            put_u64(&mut body, corr);
+            put_answer(&mut body, answer);
+        }
+        Frame::ErrorV2 { corr, error } => {
+            body.push(KIND_ERROR);
+            match corr {
+                Some(c) => {
+                    body.push(1);
+                    put_u64(&mut body, c);
+                }
+                None => body.push(0),
+            }
+            put_error(&mut body, error);
+        }
+        Frame::Ping { nonce } => {
+            body.push(KIND_PING);
+            put_u64(&mut body, nonce);
+        }
+        Frame::Pong { nonce } => {
+            body.push(KIND_PONG);
+            put_u64(&mut body, nonce);
+        }
+        Frame::Goaway { reason } => {
+            body.push(KIND_GOAWAY);
+            body.push(match reason {
+                GoawayReason::Shutdown => 1,
+                GoawayReason::IdleTimeout => 2,
+                GoawayReason::Misbehavior => 3,
+            });
         }
     }
     debug_assert!(body.len() <= MAX_FRAME_BYTES, "frames are tiny by design");
@@ -389,6 +548,7 @@ fn get_error(c: &mut Cursor<'_>) -> Result<ServeError, WireFault> {
         }),
         5 => Ok(ServeError::MalformedFrame(get_fault(c)?)),
         6 => Ok(ServeError::ProtocolVersion { got: c.u8()? }),
+        7 => Ok(ServeError::ShuttingDown),
         _ => Err(WireFault::UnknownErrorKind(k)),
     }
 }
@@ -406,41 +566,80 @@ fn get_fault(c: &mut Cursor<'_>) -> Result<WireFault, WireFault> {
         8 => Ok(WireFault::Oversize { len: c.u32()? }),
         9 => Ok(WireFault::BadCredential),
         10 => Ok(WireFault::UnexpectedFrame),
+        11 => Ok(WireFault::Rebind),
         _ => Err(WireFault::BadPayload),
     }
 }
 
-/// Decode one frame body (everything after the length prefix).
+/// Decode one frame body (everything after the length prefix). The
+/// version byte selects the payload layout for kinds 1–4; the control
+/// kinds 5–7 decode identically at either version.
 fn decode_body(body: &[u8]) -> Result<Frame, ServeError> {
     let mut c = Cursor::new(body);
     let version = c.u8().map_err(ServeError::MalformedFrame)?;
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION && version != WIRE_VERSION_2 {
         return Err(ServeError::ProtocolVersion { got: version });
     }
+    let v2 = version == WIRE_VERSION_2;
     let kind = c.u8().map_err(ServeError::MalformedFrame)?;
     let frame = match kind {
+        KIND_HELLO if v2 => Frame::HelloV2 {
+            tenant: TenantId(c.u16().map_err(ServeError::MalformedFrame)?),
+            credential: c.u64().map_err(ServeError::MalformedFrame)?,
+            session: c.u64().map_err(ServeError::MalformedFrame)?,
+        },
         KIND_HELLO => Frame::Hello {
             tenant: TenantId(c.u16().map_err(ServeError::MalformedFrame)?),
             credential: c.u64().map_err(ServeError::MalformedFrame)?,
         },
+        KIND_REQUEST if v2 => Frame::RequestV2 {
+            corr: c.u64().map_err(ServeError::MalformedFrame)?,
+            query: get_query(&mut c).map_err(ServeError::MalformedFrame)?,
+        },
         KIND_REQUEST => Frame::Request {
             query: get_query(&mut c).map_err(ServeError::MalformedFrame)?,
+        },
+        KIND_ANSWER if v2 => Frame::AnswerV2 {
+            corr: c.u64().map_err(ServeError::MalformedFrame)?,
+            answer: get_answer(&mut c).map_err(ServeError::MalformedFrame)?,
         },
         KIND_ANSWER => Frame::Answer {
             ticket: c.u64().map_err(ServeError::MalformedFrame)?,
             answer: get_answer(&mut c).map_err(ServeError::MalformedFrame)?,
         },
         KIND_ERROR => {
-            let ticket = if c.bool().map_err(ServeError::MalformedFrame)? {
+            let tagged = if c.bool().map_err(ServeError::MalformedFrame)? {
                 Some(c.u64().map_err(ServeError::MalformedFrame)?)
             } else {
                 None
             };
-            Frame::Error {
-                ticket,
-                error: get_error(&mut c).map_err(ServeError::MalformedFrame)?,
+            let error = get_error(&mut c).map_err(ServeError::MalformedFrame)?;
+            if v2 {
+                Frame::ErrorV2 {
+                    corr: tagged,
+                    error,
+                }
+            } else {
+                Frame::Error {
+                    ticket: tagged,
+                    error,
+                }
             }
         }
+        KIND_PING => Frame::Ping {
+            nonce: c.u64().map_err(ServeError::MalformedFrame)?,
+        },
+        KIND_PONG => Frame::Pong {
+            nonce: c.u64().map_err(ServeError::MalformedFrame)?,
+        },
+        KIND_GOAWAY => Frame::Goaway {
+            reason: match c.u8().map_err(ServeError::MalformedFrame)? {
+                1 => GoawayReason::Shutdown,
+                2 => GoawayReason::IdleTimeout,
+                3 => GoawayReason::Misbehavior,
+                _ => return Err(ServeError::MalformedFrame(WireFault::BadPayload)),
+            },
+        },
         k => return Err(ServeError::MalformedFrame(WireFault::UnknownKind(k))),
     };
     c.finish().map_err(ServeError::MalformedFrame)?;

@@ -1,7 +1,9 @@
 //! The byte-protocol front end: a length-prefixed binary wire format for
 //! queries, answers, typed errors, and tenant credentials, behind a
 //! swappable [`Transport`] trait, with a [`Frontend`] that owns a
-//! [`StreamingServer`](crate::StreamingServer) and serves connections.
+//! [`StreamingServer`](crate::StreamingServer) and serves connections,
+//! a deterministic byte-level fault injector ([`chaos`]), and an
+//! exactly-once retrying [`WireClient`].
 //!
 //! ## Frame layout
 //!
@@ -10,17 +12,23 @@
 //! ```text
 //! ┌───────────┬──────────┬────────┬─────────────────────────┐
 //! │ len: u32  │ ver: u8  │ kind   │ payload (len − 2 bytes) │
-//! │ LE        │ = 1      │ u8     │ kind-specific, LE ints  │
+//! │ LE        │ 1 or 2   │ u8     │ kind-specific, LE ints  │
 //! └───────────┴──────────┴────────┴─────────────────────────┘
 //! ```
 //!
 //! `len` counts everything after the prefix (version + kind + payload)
-//! and is capped at [`MAX_FRAME_BYTES`]. Frame kinds: `Hello` (tenant
-//! id and credential, binds a connection to a tenant), `Request` (one
-//! [`Query`](crate::Query)), `Answer` (ticket plus
-//! [`Answer`](crate::Answer)), `Error` (optional ticket plus
-//! [`ServeError`](crate::ServeError)). The full per-kind payload layout
-//! is documented in [`codec`].
+//! and is capped at [`MAX_FRAME_BYTES`]. Two protocol versions share
+//! the framing and negotiate per frame — the server answers each frame
+//! in the version it arrived in, so v1 and v2 peers coexist on one
+//! frontend. v1 frame kinds: `Hello` (tenant id and credential, binds a
+//! connection to a tenant), `Request` (one [`Query`](crate::Query)),
+//! `Answer` (ticket plus [`Answer`](crate::Answer)), `Error` (optional
+//! ticket plus [`ServeError`](crate::ServeError)). v2 widens `Hello`
+//! with a session id and keys `Request`/`Answer`/`Error` by
+//! client-chosen correlation ids — the basis of reconnect-with-resume
+//! and idempotent resubmission. Kinds 5–7 (`Ping`/`Pong`/`Goaway`, the
+//! connection-lifecycle frames) are version-neutral. The full per-kind
+//! payload layout is documented in [`codec`].
 //!
 //! Decoding is *total*: any byte sequence either yields a frame or a
 //! typed [`crate::ServeError::MalformedFrame`] /
@@ -37,7 +45,9 @@
 //! benches, and CI use, so nothing here depends on sandbox networking)
 //! and [`TcpTransport`] (a non-blocking `std::net::TcpStream`; compiled
 //! always, exercised only where a real network exists — CI runs
-//! loopback-only).
+//! loopback-only). [`Connector`] is the dial-side counterpart a
+//! [`WireClient`] reconnects through; [`loopback_listener`] pairs a
+//! [`LoopbackConnector`] with a [`LoopbackListener`] backlog.
 //!
 //! ## The frontend
 //!
@@ -50,13 +60,37 @@
 //! windows map per-connection backpressure onto the admission queue: a
 //! connection with `window` requests in flight gets a typed `Overloaded`
 //! error frame for the overflow request — never a dropped byte — while
-//! other connections keep submitting. See [`frontend`] for the exact
+//! other connections keep submitting. [`LifecyclePolicy`] adds opt-in
+//! idle deadlines with `Ping`/`Pong` keepalive, malformed-frame strike
+//! escalation, bounded per-connection send buffers with slow-client
+//! backpressure, and per-session dedup windows;
+//! [`Frontend::begin_shutdown`] / [`Frontend::shutdown`] implement
+//! `Goaway`-announced graceful drain. See [`frontend`] for the exact
 //! charge and windowing contract.
-
+//!
+//! ## Chaos
+//!
+//! [`WireFaultPlan`] + [`ChaosTransport`] inject byte-level faults —
+//! short reads/writes, mid-frame disconnects, stall ticks, duplicated
+//! delivery — as pure functions of `(seed, connection, byte offset)`:
+//! bit-reproducible across runs and thread counts, CI-matrixable like
+//! the shard-level [`FaultPlan`](crate::FaultPlan). The zero-knob plan
+//! injects nothing and is behavior-identical to the bare transport. See
+//! [`chaos`].
+pub mod chaos;
+pub mod client;
 pub mod codec;
 pub mod frontend;
 pub mod transport;
 
-pub use codec::{encode_frame, Frame, FrameBuf, WireFault, MAX_FRAME_BYTES, WIRE_VERSION};
-pub use frontend::{ConnId, Frontend, FrontendStats, PumpReport};
-pub use transport::{loopback_pair, LoopbackTransport, TcpTransport, Transport, TransportError};
+pub use chaos::{ChaosConnector, ChaosStats, ChaosTransport, WireFaultPlan};
+pub use client::{ClientStats, RetryPolicy, WireClient};
+pub use codec::{
+    encode_frame, frame_version, Frame, FrameBuf, GoawayReason, WireFault, MAX_FRAME_BYTES,
+    WIRE_VERSION, WIRE_VERSION_2,
+};
+pub use frontend::{ConnId, Frontend, FrontendStats, LifecyclePolicy, PumpReport};
+pub use transport::{
+    loopback_listener, loopback_pair, Connector, LoopbackConnector, LoopbackListener,
+    LoopbackTransport, TcpTransport, Transport, TransportError,
+};

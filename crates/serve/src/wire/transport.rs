@@ -12,6 +12,11 @@ pub enum TransportError {
     /// The peer is gone and every buffered byte has been drained; no
     /// further traffic is possible in this direction.
     Closed,
+    /// Transient: the transport cannot accept the send *right now* and
+    /// enqueued **nothing** — retry the whole buffer later. This is the
+    /// slow-reader signal the frontend's bounded send buffers absorb; it
+    /// never means data loss and never occurs mid-frame.
+    Busy,
     /// An I/O error surfaced by the underlying stream.
     Io(std::io::ErrorKind),
 }
@@ -20,6 +25,7 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Busy => write!(f, "transport busy (retry the send)"),
             TransportError::Io(kind) => write!(f, "transport i/o error: {kind:?}"),
         }
     }
@@ -35,7 +41,10 @@ impl std::error::Error for TransportError {}
 /// Contract:
 ///
 /// * [`Transport::send`] enqueues all of `bytes` or fails; no partial
-///   sends are observable (an implementation may buffer internally).
+///   sends are observable (an implementation may buffer internally). A
+///   [`TransportError::Busy`] failure is transient — nothing was
+///   enqueued, retry the same bytes later; every other failure is fatal
+///   for the direction.
 /// * [`Transport::recv`] copies up to `buf.len()` available bytes and
 ///   returns how many; `Ok(0)` means "nothing available right now",
 ///   never end-of-stream. A dead peer is [`TransportError::Closed`] —
@@ -49,6 +58,16 @@ pub trait Transport: Send {
     /// Copy up to `buf.len()` available bytes into `buf`; `Ok(0)` when
     /// nothing is available right now.
     fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+}
+
+impl Transport for Box<dyn Transport> {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        (**self).send(bytes)
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        (**self).recv(buf)
+    }
 }
 
 /// One direction of a loopback pipe.
@@ -155,9 +174,14 @@ impl Transport for TcpTransport {
                 Ok(0) => return Err(TransportError::Closed),
                 Ok(n) => rest = &rest[n..],
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    // The kernel buffer is full; frames must not be torn,
-                    // so wait it out (frames are tiny — this is rare and
-                    // short).
+                    if rest.len() == bytes.len() {
+                        // Nothing written yet: report Busy so the caller
+                        // can buffer the frame instead of spinning on a
+                        // slow reader.
+                        return Err(TransportError::Busy);
+                    }
+                    // Mid-frame: frames must not be torn, so wait it out
+                    // (frames are tiny — this is rare and short).
                     std::thread::yield_now();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -175,6 +199,65 @@ impl Transport for TcpTransport {
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
             Err(e) => Err(TransportError::Io(e.kind())),
         }
+    }
+}
+
+/// How a [`WireClient`](super::WireClient) obtains a fresh transport —
+/// once at startup and again on every reconnect. Implementations carry
+/// whatever addressing they need (a loopback backlog, a socket address,
+/// a chaos plan wrapping another connector).
+pub trait Connector {
+    /// Dial a new connection. [`TransportError::Busy`] means "no
+    /// connection available right now, try again later"; anything else
+    /// is a failed dial (also retried, under backoff).
+    fn dial(&mut self) -> Result<Box<dyn Transport>, TransportError>;
+}
+
+/// Server-side backlog of loopback connections a [`LoopbackConnector`]
+/// has dialed. The serving loop accepts each end into a
+/// [`Frontend`](super::Frontend) — the loopback analogue of a listening
+/// socket, usable anywhere regardless of sandbox networking.
+#[derive(Debug, Clone, Default)]
+pub struct LoopbackListener {
+    backlog: Arc<Mutex<VecDeque<LoopbackTransport>>>,
+}
+
+impl LoopbackListener {
+    /// Pop the next dialed-but-unaccepted connection, if any.
+    pub fn accept(&self) -> Option<LoopbackTransport> {
+        self.backlog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+}
+
+/// [`Connector`] producing in-process loopback connections; the peer
+/// ends queue on the paired [`LoopbackListener`].
+#[derive(Debug, Clone)]
+pub struct LoopbackConnector {
+    backlog: Arc<Mutex<VecDeque<LoopbackTransport>>>,
+}
+
+/// A paired loopback dialer and acceptor.
+pub fn loopback_listener() -> (LoopbackConnector, LoopbackListener) {
+    let listener = LoopbackListener::default();
+    (
+        LoopbackConnector {
+            backlog: Arc::clone(&listener.backlog),
+        },
+        listener,
+    )
+}
+
+impl Connector for LoopbackConnector {
+    fn dial(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+        let (client, server) = loopback_pair();
+        self.backlog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(server);
+        Ok(Box::new(client))
     }
 }
 

@@ -2,10 +2,13 @@
 //!
 //! 1. the codec is **total and lossless**: every frame round-trips
 //!    bit-identically through `encode_frame` → `FrameBuf` (including
-//!    byte-at-a-time delivery), truncated frames wait instead of erroring,
-//!    bad version / unknown kind bytes are rejected as *typed* errors with
-//!    the stream staying synchronized, and arbitrary garbage never panics
-//!    the decoder;
+//!    byte-at-a-time delivery, and — exhaustively — every frame kind
+//!    split at every byte boundary across two deliveries, with and
+//!    without duplicated frames prepended), truncated frames wait
+//!    instead of erroring, bad version / unknown kind bytes are rejected
+//!    as *typed* errors with the stream staying synchronized, and
+//!    arbitrary garbage never panics the decoder — for both protocol
+//!    versions;
 //! 2. deficit-round-robin fair share holds **exactly**: under a 10:1
 //!    submission skew with equal weights, both tenants' dispatched counts
 //!    advance in lockstep while both are backlogged, and a 3:1 weighting
@@ -27,9 +30,9 @@ use wec::connectivity::{ConnectivityOracle, OracleBuildOpts};
 use wec::graph::{gen, Csr, Priorities};
 use wec::serve::{
     encode_frame, loopback_pair, AdmissionPolicy, Answer, FairShare, Frame, FrameBuf, Frontend,
-    LoopbackTransport, Overflow, Query, ServeError, ShardedServer, Snapshot, StreamingServer,
-    TcpTransport, TenancyStats, TenantId, TenantSpec, Transport, WireFault, FRAME_DECODE_OPS,
-    FRAME_ENCODE_OPS, MAX_FRAME_BYTES, WIRE_VERSION,
+    GoawayReason, LoopbackTransport, Overflow, Query, ServeError, ShardedServer, Snapshot,
+    StreamingServer, TcpTransport, TenancyStats, TenantId, TenantSpec, Transport, WireFault,
+    FRAME_DECODE_OPS, FRAME_ENCODE_OPS, MAX_FRAME_BYTES,
 };
 
 const OMEGA: u64 = 64;
@@ -74,7 +77,7 @@ fn arb_answer(r: &mut Lcg) -> Answer {
 }
 
 fn arb_fault(r: &mut Lcg) -> WireFault {
-    match r.below(10) {
+    match r.below(11) {
         0 => WireFault::UnknownKind(r.below(256) as u8),
         1 => WireFault::UnknownQueryKind(r.below(256) as u8),
         2 => WireFault::UnknownAnswerKind(r.below(256) as u8),
@@ -86,12 +89,13 @@ fn arb_fault(r: &mut Lcg) -> WireFault {
             len: r.below(1 << 31) as u32,
         },
         8 => WireFault::BadCredential,
+        9 => WireFault::Rebind,
         _ => WireFault::UnexpectedFrame,
     }
 }
 
 fn arb_error(r: &mut Lcg) -> ServeError {
-    match r.below(6) {
+    match r.below(7) {
         0 => ServeError::UnsupportedQuery(arb_query(r)),
         1 => ServeError::Overloaded {
             queue_len: r.below(1 << 20) as usize,
@@ -103,14 +107,23 @@ fn arb_error(r: &mut Lcg) -> ServeError {
             quota: r.below(1 << 30) as u32,
         },
         4 => ServeError::MalformedFrame(arb_fault(r)),
-        _ => ServeError::ProtocolVersion {
+        5 => ServeError::ProtocolVersion {
             got: r.below(256) as u8,
         },
+        _ => ServeError::ShuttingDown,
+    }
+}
+
+fn arb_reason(r: &mut Lcg) -> GoawayReason {
+    match r.below(3) {
+        0 => GoawayReason::Shutdown,
+        1 => GoawayReason::IdleTimeout,
+        _ => GoawayReason::Misbehavior,
     }
 }
 
 fn arb_frame(r: &mut Lcg) -> Frame {
-    match r.below(4) {
+    match r.below(11) {
         0 => Frame::Hello {
             tenant: TenantId(r.below(1 << 16) as u16),
             credential: r.next(),
@@ -122,7 +135,7 @@ fn arb_frame(r: &mut Lcg) -> Frame {
             ticket: r.next(),
             answer: arb_answer(r),
         },
-        _ => Frame::Error {
+        3 => Frame::Error {
             ticket: if r.below(2) == 0 {
                 Some(r.next())
             } else {
@@ -130,6 +143,140 @@ fn arb_frame(r: &mut Lcg) -> Frame {
             },
             error: arb_error(r),
         },
+        4 => Frame::HelloV2 {
+            tenant: TenantId(r.below(1 << 16) as u16),
+            credential: r.next(),
+            session: r.next(),
+        },
+        5 => Frame::RequestV2 {
+            corr: r.next(),
+            query: arb_query(r),
+        },
+        6 => Frame::AnswerV2 {
+            corr: r.next(),
+            answer: arb_answer(r),
+        },
+        7 => Frame::ErrorV2 {
+            corr: if r.below(2) == 0 {
+                Some(r.next())
+            } else {
+                None
+            },
+            error: arb_error(r),
+        },
+        8 => Frame::Ping { nonce: r.next() },
+        9 => Frame::Pong { nonce: r.next() },
+        _ => Frame::Goaway {
+            reason: arb_reason(r),
+        },
+    }
+}
+
+/// One representative frame per wire kind and version — the exhaustive
+/// boundary sweep covers every encoder branch through these.
+fn representative_frames() -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            tenant: TenantId(7),
+            credential: 0xfeed_beef_dead_cafe,
+        },
+        Frame::Request {
+            query: Query::TwoEdgeConnected(123_456, 654_321),
+        },
+        Frame::Answer {
+            ticket: u64::MAX - 3,
+            answer: Answer::Component(wec::connectivity::ComponentId::Implicit(0x1234_5678)),
+        },
+        Frame::Error {
+            ticket: Some(42),
+            error: ServeError::QuotaExceeded {
+                tenant: TenantId(9),
+                quota: 17,
+            },
+        },
+        Frame::Error {
+            ticket: None,
+            error: ServeError::MalformedFrame(WireFault::Oversize { len: 1 << 30 }),
+        },
+        Frame::HelloV2 {
+            tenant: TenantId(7),
+            credential: 0xfeed_beef_dead_cafe,
+            session: 0x0102_0304_0506_0708,
+        },
+        Frame::RequestV2 {
+            corr: 0xaaaa_bbbb_cccc_dddd,
+            query: Query::Biconnected(1, 2),
+        },
+        Frame::AnswerV2 {
+            corr: 3,
+            answer: Answer::Connected(true),
+        },
+        Frame::ErrorV2 {
+            corr: Some(u64::MAX),
+            error: ServeError::ShuttingDown,
+        },
+        Frame::ErrorV2 {
+            corr: None,
+            error: ServeError::MalformedFrame(WireFault::Rebind),
+        },
+        Frame::Ping { nonce: 0x55aa },
+        Frame::Pong { nonce: !0x55aa },
+        Frame::Goaway {
+            reason: GoawayReason::Shutdown,
+        },
+        Frame::Goaway {
+            reason: GoawayReason::IdleTimeout,
+        },
+        Frame::Goaway {
+            reason: GoawayReason::Misbehavior,
+        },
+    ]
+}
+
+/// Satellite sweep: every frame kind, split at **every** byte boundary
+/// across two deliveries, decodes to exactly the original frame — no
+/// desync, no phantom frame. The same holds with a duplicated copy of
+/// the frame prepended (duplicated delivery must yield two identical
+/// frames, not a parse error), again at every split point.
+#[test]
+fn codec_decodes_every_kind_at_every_split_boundary() {
+    for frame in representative_frames() {
+        let bytes = encode_frame(&frame);
+
+        // Plain split: prefix waits, suffix completes.
+        for cut in 0..=bytes.len() {
+            let mut fb = FrameBuf::default();
+            fb.extend(&bytes[..cut]);
+            if cut < bytes.len() {
+                assert_eq!(fb.next_frame(), None, "{frame:?} prefix {cut} must wait");
+            }
+            fb.extend(&bytes[cut..]);
+            assert_eq!(fb.next_frame(), Some(Ok(frame)), "{frame:?} split at {cut}");
+            assert_eq!(fb.next_frame(), None, "no phantom frame after {frame:?}");
+            assert_eq!(fb.pending(), 0);
+        }
+
+        // Duplicated delivery: the doubled stream, split at every
+        // boundary, decodes to exactly two copies.
+        let doubled: Vec<u8> = bytes.iter().chain(bytes.iter()).copied().collect();
+        for cut in 0..=doubled.len() {
+            let mut fb = FrameBuf::default();
+            fb.extend(&doubled[..cut]);
+            let mut got = Vec::new();
+            while let Some(f) = fb.next_frame() {
+                got.push(f);
+            }
+            fb.extend(&doubled[cut..]);
+            while let Some(f) = fb.next_frame() {
+                got.push(f);
+            }
+            assert_eq!(
+                got,
+                vec![Ok(frame), Ok(frame)],
+                "{frame:?} duplicated, split at {cut}"
+            );
+            assert_eq!(fb.pending(), 0);
+        }
     }
 }
 
@@ -182,17 +329,15 @@ fn codec_rejects_bad_version_and_kind_without_losing_sync() {
         assert_eq!(fb.next_frame(), None, "prefix of {cut} bytes must wait");
     }
 
-    // Bad version byte, then a good frame.
+    // Bad version byte (neither v1 nor v2), then a good frame.
     let mut bad = bytes.clone();
-    bad[4] = WIRE_VERSION + 1;
+    bad[4] = 99;
     let mut fb = FrameBuf::default();
     fb.extend(&bad);
     fb.extend(&bytes);
     assert_eq!(
         fb.next_frame(),
-        Some(Err(ServeError::ProtocolVersion {
-            got: WIRE_VERSION + 1
-        }))
+        Some(Err(ServeError::ProtocolVersion { got: 99 }))
     );
     assert_eq!(fb.next_frame(), Some(Ok(good)), "stream stays in sync");
 
@@ -519,6 +664,182 @@ fn frontend_serves_loopback_connections() {
             error: ServeError::MalformedFrame(WireFault::UnexpectedFrame),
         }]
     );
+}
+
+/// A second `Hello` on an already-bound connection — v1 or v2 — is a
+/// typed in-band `Rebind` error, never a panic or a silent drop, and the
+/// connection keeps serving afterwards.
+#[test]
+fn frontend_answers_double_hello_with_typed_rebind() {
+    let (g, pri, verts) = oracle_fixture();
+    let mut led = Ledger::new(OMEGA);
+    let k = led.sqrt_omega();
+    let oracle =
+        ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, OracleBuildOpts::default());
+    let policy = AdmissionPolicy::builder()
+        .max_batch(8)
+        .max_queue(1 << 10)
+        .tenants([TenantSpec::new(1), TenantSpec::new(2)])
+        .build();
+    let srv = StreamingServer::new(ShardedServer::new(oracle.query_handle(), 3), policy);
+    let mut fe = Frontend::new(srv);
+
+    // v1: bind, then try to rebind.
+    let (mut v1, s1) = loopback_pair();
+    let c1 = fe.connect(Box::new(s1));
+    let mut rx1 = FrameBuf::default();
+    let hello = Frame::Hello {
+        tenant: TenantId(1),
+        credential: 0,
+    };
+    client_send(&mut v1, &hello);
+    fe.pump(&mut led);
+    client_send(&mut v1, &hello);
+    fe.pump(&mut led);
+    assert_eq!(
+        client_recv_all(&mut v1, &mut rx1),
+        vec![Frame::Error {
+            ticket: None,
+            error: ServeError::MalformedFrame(WireFault::Rebind),
+        }]
+    );
+
+    // v2: same contract, the error travels as a v2 frame.
+    let (mut v2, s2) = loopback_pair();
+    fe.connect(Box::new(s2));
+    let mut rx2 = FrameBuf::default();
+    let hello2 = Frame::HelloV2 {
+        tenant: TenantId(2),
+        credential: 0,
+        session: 77,
+    };
+    client_send(&mut v2, &hello2);
+    fe.pump(&mut led);
+    client_send(&mut v2, &hello2);
+    fe.pump(&mut led);
+    assert_eq!(
+        client_recv_all(&mut v2, &mut rx2),
+        vec![Frame::ErrorV2 {
+            corr: None,
+            error: ServeError::MalformedFrame(WireFault::Rebind),
+        }]
+    );
+    assert_eq!(fe.frontend_stats().malformed_frames, 2);
+    assert_eq!(fe.frontend_stats().sessions_bound, 1);
+
+    // Both connections still serve.
+    client_send(
+        &mut v1,
+        &Frame::Request {
+            query: Query::Connected(0, 1),
+        },
+    );
+    client_send(
+        &mut v2,
+        &Frame::RequestV2 {
+            corr: 5,
+            query: Query::Connected(0, 1),
+        },
+    );
+    fe.drain(&mut led);
+    assert!(matches!(
+        client_recv_all(&mut v1, &mut rx1).as_slice(),
+        [Frame::Answer { .. }]
+    ));
+    assert!(matches!(
+        client_recv_all(&mut v2, &mut rx2).as_slice(),
+        [Frame::AnswerV2 { corr: 5, .. }]
+    ));
+    assert!(!fe.conn_closed(c1));
+}
+
+/// Graceful shutdown: `begin_shutdown` announces `Goaway` on every live
+/// connection, everything already admitted drains to a delivered answer,
+/// and any frame submitted after the announcement — request or hello —
+/// is answered with a typed `ShuttingDown` error, never a panic or a
+/// silent drop. Once the drain completes the connection closes.
+#[test]
+fn frontend_goaway_drains_in_flight_and_rejects_new_work() {
+    let (g, pri, verts) = oracle_fixture();
+    let mut led = Ledger::new(OMEGA);
+    let k = led.sqrt_omega();
+    let oracle =
+        ConnectivityOracle::build(&mut led, &g, &pri, &verts, k, 1, OracleBuildOpts::default());
+    // max_batch(1): one query dispatched per pump, so work stays in
+    // flight across the shutdown announcement.
+    let policy = AdmissionPolicy::builder()
+        .max_batch(1)
+        .max_queue(1 << 10)
+        .build();
+    let srv = StreamingServer::new(ShardedServer::new(oracle.query_handle(), 3), policy);
+    let mut fe = Frontend::new(srv);
+    let (mut client, s) = loopback_pair();
+    let conn = fe.connect(Box::new(s));
+    let mut rx = FrameBuf::default();
+
+    for u in 0..3u32 {
+        client_send(
+            &mut client,
+            &Frame::Request {
+                query: Query::Connected(u, u + 1),
+            },
+        );
+    }
+    fe.pump(&mut led);
+    assert_eq!(fe.frontend_stats().admitted, 3);
+    assert!(fe.conn_in_flight(conn) > 0, "work in flight at shutdown");
+
+    fe.begin_shutdown(&mut led);
+    assert!(fe.is_shutting_down());
+
+    // Post-announcement submissions are rejected, typed.
+    client_send(
+        &mut client,
+        &Frame::Request {
+            query: Query::Connected(0, 1),
+        },
+    );
+    client_send(
+        &mut client,
+        &Frame::Hello {
+            tenant: TenantId(1),
+            credential: 0,
+        },
+    );
+    let report = fe.shutdown(&mut led);
+    assert_eq!(report.admitted, 0, "nothing new admitted while draining");
+
+    let frames = client_recv_all(&mut client, &mut rx);
+    let answers = frames
+        .iter()
+        .filter(|f| matches!(f, Frame::Answer { .. }))
+        .count();
+    let shutdown_errors = frames
+        .iter()
+        .filter(|f| {
+            matches!(
+                f,
+                Frame::Error {
+                    ticket: None,
+                    error: ServeError::ShuttingDown,
+                }
+            )
+        })
+        .count();
+    assert_eq!(answers, 3, "every in-flight ticket drained to an answer");
+    assert_eq!(shutdown_errors, 2, "request and hello both rejected typed");
+    assert!(
+        frames.iter().any(|f| matches!(
+            f,
+            Frame::Goaway {
+                reason: GoawayReason::Shutdown
+            }
+        )),
+        "shutdown was announced"
+    );
+    assert!(fe.conn_closed(conn), "drained connection closed");
+    assert_eq!(fe.frontend_stats().rejected_shutdown, 2);
+    assert_eq!(fe.server().undelivered(), 0, "nothing abandoned");
 }
 
 /// Serving through the wire charges exactly the in-process costs plus one
